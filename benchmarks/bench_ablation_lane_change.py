@@ -1,0 +1,130 @@
+"""Ablation — lane-change detection/correction on vs off.
+
+The paper motivates Eq 2 by the error lane changes induce when the measured
+path speed is used as the longitudinal velocity (Sec III-B). This ablation
+measures that effect in our pipeline — and documents a genuine finding of
+the reproduction:
+
+With the **specific-force process model** (the physically consistent
+reading of Eq 5, see DESIGN.md §1) the EKF's velocity state is the *path*
+speed, because the body-mounted accelerometer measures the rate of change
+of path speed. The measured speedometer/GPS speed is also path speed, so
+the measurement already matches the state **during lane changes too** and
+Eq 2's ``cos(alpha)`` correction is a no-op to slightly harmful
+(~0.01 deg). The correction matters only for formulations whose state is
+the road-frame longitudinal velocity — the paper's torque-based Eq 3
+reading. The lane-change *detector* remains essential regardless: it powers
+the S-curve discrimination and the maneuver-aware applications.
+
+The bench measures gradient error with Eq 2 on/off, overall and inside
+maneuver windows, at low speed (16 km/h) where ``1 - cos(alpha)`` peaks.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_block
+from dataclasses import replace
+
+from repro.constants import KMH
+from repro.eval.runner import RunnerConfig, collect_recordings, make_system
+from repro.eval.tables import render_table
+from repro.roads import SectionSpec, build_profile
+from repro.roads.reference import survey_reference_profile
+from repro.vehicle.driver import DriverProfile
+from repro.vehicle.simulator import SimulationConfig
+from repro.sensors import Smartphone
+from repro.vehicle.simulator import simulate_trip
+
+
+@pytest.fixture(scope="module")
+def busy_route():
+    """A low-speed two-lane route: low speed maximizes the cos(alpha) effect."""
+    specs = [
+        SectionSpec.from_degrees(500.0, 2.4, 2),
+        SectionSpec.from_degrees(500.0, -2.0, 2),
+    ]
+    return build_profile(specs, name="busy")
+
+
+@pytest.fixture(scope="module")
+def recordings(busy_route):
+    phone = Smartphone()
+    out = []
+    for i, seed in enumerate((210, 211)):
+        driver = DriverProfile(
+            name=f"slow-{i}", cruise_speed=16.0 * KMH, lane_changes_per_km=8.0
+        )
+        trace = simulate_trip(
+            busy_route, driver=driver, config=SimulationConfig(sample_rate=50.0),
+            seed=seed,
+        )
+        out.append((trace, phone.record(trace, np.random.default_rng(seed + 7))))
+    return out
+
+
+def _grade_errors(profile, recordings, apply_correction):
+    cfg = replace(
+        RunnerConfig(n_trips=1, seed=21), apply_lane_change_correction=apply_correction
+    )
+    system = make_system(profile, cfg)
+    reference = survey_reference_profile(profile).smoothed(cfg.reference_smooth_m)
+    all_err, window_err, n_events = [], [], 0
+    for trace, rec in recordings:
+        result = system.estimate(rec)
+        n_events += result.n_lane_changes
+        grid = result.s_grid
+        truth = np.asarray(reference.gradient_at(grid))
+        theta = np.interp(grid, result.fused.s, result.fused.theta)
+        err = np.abs(theta - truth)
+        all_err.append(err)
+        for start, end, _ in trace.lane_change_intervals():
+            s_lo, s_hi = trace.s[start], trace.s[end - 1]
+            mask = (grid >= s_lo - 10) & (grid <= s_hi + 30)
+            if np.any(mask):
+                window_err.append(err[mask])
+    overall = float(np.degrees(np.mean(np.concatenate(all_err))))
+    windows = (
+        float(np.degrees(np.mean(np.concatenate(window_err)))) if window_err else np.nan
+    )
+    return overall, windows, n_events
+
+
+def test_lane_change_correction_ablation(busy_route, recordings):
+    on_all, on_win, n_events = _grade_errors(busy_route, recordings, True)
+    off_all, off_win, _ = _grade_errors(busy_route, recordings, False)
+    print_block(
+        render_table(
+            ["configuration", "mean err deg (route)", "mean err deg (maneuver windows)"],
+            [
+                ["correction ON (Eq 2)", round(on_all, 4), round(on_win, 4)],
+                ["correction OFF", round(off_all, 4), round(off_win, 4)],
+            ],
+            title=(
+                "Ablation — Eq 2 velocity correction "
+                f"({n_events} maneuvers detected @16 km/h). Finding: with the "
+                "specific-force state space the path-speed state already "
+                "matches the measured speed, so Eq 2 changes little."
+            ),
+        )
+    )
+    # The maneuvers must actually be exercised for the ablation to mean anything.
+    assert n_events >= 4
+    # Reproduction finding: the correction is within noise of no-correction
+    # for the specific-force formulation (and must not blow up accuracy).
+    assert abs(on_all - off_all) < 0.1
+    assert on_all < 0.6
+
+
+def test_benchmark_correction(benchmark):
+    from repro.core.lane_change.correction import correct_velocity_array
+    from repro.core.lane_change.detector import LaneChangeEvent
+
+    n = 50_000
+    t = np.arange(n) * 0.02
+    v = np.full(n, 11.0)
+    w = np.zeros(n)
+    w[1000:1200] = 0.08
+    events = [LaneChangeEvent(20.0, 24.0, 1, 3.6, 1000, 1200)]
+    out = benchmark(correct_velocity_array, t, v, t, w, events)
+    assert len(out) == n

@@ -1,0 +1,72 @@
+"""Ablation — sensor-noise sensitivity of OPS vs the EKF baseline.
+
+Scales every stochastic sensor error by a common factor and tracks the
+gradient error of both methods. OPS degrades gracefully (track fusion
+spreads the damage across sources); the altitude-EKF baseline rides the
+barometer and degrades faster.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_block
+from dataclasses import replace
+
+from repro.eval.runner import RunnerConfig, evaluate_methods
+from repro.eval.tables import render_table
+from repro.roads import SectionSpec, build_profile
+
+SCALES = (0.5, 1.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def route():
+    return build_profile(
+        [SectionSpec.from_degrees(500.0, 2.2, 2), SectionSpec.from_degrees(500.0, -2.6, 2)],
+        name="noise-route",
+    )
+
+
+def test_noise_sensitivity(route):
+    rows = []
+    results = {}
+    for scale in SCALES:
+        cfg = RunnerConfig(n_trips=1, seed=71, noise_scale=scale, trim_m=60.0)
+        res = evaluate_methods(route, methods=("ops", "ekf"), cfg=cfg)
+        results[scale] = res
+        rows.append(
+            [
+                scale,
+                round(res.methods["ops"].mean_error_deg, 3),
+                round(res.methods["ekf"].mean_error_deg, 3),
+            ]
+        )
+    print_block(
+        render_table(
+            ["noise scale", "OPS mean err deg", "EKF baseline mean err deg"],
+            rows,
+            title="Ablation — sensitivity to sensor noise scale",
+        )
+    )
+    # Monotone degradation for OPS between the extremes.
+    assert (
+        results[2.0].methods["ops"].mean_error_deg
+        > results[0.5].methods["ops"].mean_error_deg
+    )
+    # OPS stays ahead of the baseline at every noise level.
+    for scale in SCALES:
+        assert (
+            results[scale].methods["ops"].mre < results[scale].methods["ekf"].mre
+        )
+
+
+def test_benchmark_noisy_pipeline(benchmark, route):
+    from repro.eval.runner import RunnerConfig, collect_recordings, make_system
+
+    cfg = RunnerConfig(n_trips=1, seed=72, noise_scale=2.0)
+    recordings = collect_recordings(route, cfg)
+    system = make_system(route, cfg)
+    result = benchmark.pedantic(
+        system.estimate, args=(recordings[0][1],), rounds=1, iterations=1
+    )
+    assert len(result.fused) > 0

@@ -1,0 +1,74 @@
+"""Ablation — specific-force process model vs the literal paper Eq 5.
+
+DESIGN.md §1: the paper writes ``v' = v + a_meas`` but a phone
+accelerometer measures specific force ``a + g sin(theta)``; modelling that
+coupling is what makes theta observable from the velocity innovation. This
+ablation runs both process models on identical recordings. The literal
+model is paired with an idealized gravity-free accelerometer (the only
+world where Eq 5 is self-consistent) and still loses, because theta is then
+only driven by Eq 4's weak drift term.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_block
+from repro.core.gradient_ekf import GradientEKFConfig, estimate_track
+from repro.eval.tables import render_table
+from repro.roads import SectionSpec, build_profile
+from repro.sensors import Accelerometer, Smartphone
+from repro.vehicle import DriverProfile, simulate_trip
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    profile = build_profile(
+        [SectionSpec.from_degrees(700.0, 2.5), SectionSpec.from_degrees(700.0, -2.0)],
+        name="ablation",
+    )
+    trace = simulate_trip(profile, DriverProfile(lane_changes_per_km=0.0), seed=31)
+    rng = np.random.default_rng(32)
+    phone_sf = Smartphone()
+    rec_sf = phone_sf.record(trace, rng)
+    phone_ideal = Smartphone(accelerometer=Accelerometer(include_gravity=False))
+    rec_ideal = phone_ideal.record(trace, np.random.default_rng(32))
+    return profile, trace, rec_sf, rec_ideal
+
+
+def test_process_model_ablation(scenario):
+    profile, trace, rec_sf, rec_ideal = scenario
+    truth = trace.grade
+
+    def run(rec, process):
+        cfg = GradientEKFConfig(process=process)
+        track = estimate_track(
+            rec.accel_long, rec.speedometer, trace.s, config=cfg
+        )
+        return float(np.degrees(np.mean(np.abs(track.theta[500:] - truth[500:]))))
+
+    err_sf = run(rec_sf, "specific_force")
+    err_paper_ideal = run(rec_ideal, "paper")
+    err_paper_sf_input = run(rec_sf, "paper")
+
+    print_block(
+        render_table(
+            ["process model", "accelerometer input", "mean err deg"],
+            [
+                ["specific_force (default)", "real (specific force)", round(err_sf, 3)],
+                ["paper Eq 5 literal", "idealized gravity-free", round(err_paper_ideal, 3)],
+                ["paper Eq 5 literal", "real (specific force)", round(err_paper_sf_input, 3)],
+            ],
+            title="Ablation — EKF process model",
+        )
+    )
+    # The specific-force model dominates both literal-Eq 5 variants.
+    assert err_sf < err_paper_ideal
+    assert err_sf < err_paper_sf_input
+
+
+def test_benchmark_track_estimation(benchmark, scenario):
+    _, trace, rec_sf, _ = scenario
+    track = benchmark(
+        estimate_track, rec_sf.accel_long, rec_sf.speedometer, trace.s
+    )
+    assert len(track) == len(trace)

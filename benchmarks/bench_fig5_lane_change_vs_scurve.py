@@ -1,0 +1,92 @@
+"""Fig 5 — distinguishing lane changes from S-shaped roads.
+
+The scenario: a two-lane straight where genuine lane changes happen,
+followed by an S-shaped single-lane section inside a GPS dead zone (so road
+curvature leaks into the steering-rate profile — the confusable case). The
+displacement rule ``W <= 3 W_lane`` must accept the former and reject the
+latter.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_block
+from repro.core.lane_change.bumps import find_bumps
+from repro.core.lane_change.detector import LaneChangeDetector, LaneChangeDetectorConfig
+from repro.datasets.charlottesville import s_curve_route
+from repro.eval.metrics import score_lane_change_detection
+from repro.eval.tables import render_table
+from repro.sensors import CoordinateAlignment, Smartphone
+from repro.vehicle import DriverProfile, simulate_trip
+
+
+@pytest.fixture(scope="module")
+def scenario(thresholds):
+    route = s_curve_route()
+    trace = simulate_trip(route, DriverProfile(lane_changes_per_km=8.0), seed=5)
+    rec = Smartphone().record(trace, np.random.default_rng(6))
+    aligned = CoordinateAlignment(route).align(rec.gyro, rec.speedometer, rec.gps)
+    detector = LaneChangeDetector(LaneChangeDetectorConfig(thresholds=thresholds))
+    smooth = detector.smooth(aligned.w_steer)
+    events = detector.detect(aligned.t, smooth, aligned.v, presmoothed=True)
+    bumps = find_bumps(aligned.t, smooth, thresholds)
+    return route, trace, aligned, bumps, events
+
+
+def test_fig5_discrimination(scenario):
+    route, trace, aligned, bumps, events = scenario
+    s_curve_window = route.gps_outages[0]
+
+    truth = [
+        (float(trace.t[a]), float(trace.t[b - 1]), d)
+        for a, b, d in trace.lane_change_intervals()
+    ]
+    detected = [(e.t_start, e.t_end, e.direction) for e in events]
+
+    rows = [
+        [
+            f"{b.t_start:.1f}-{b.t_end:.1f}",
+            "+" if b.sign > 0 else "-",
+            round(b.delta, 4),
+            round(b.duration, 2),
+        ]
+        for b in bumps
+    ]
+    print_block(
+        render_table(
+            ["bump t [s]", "sign", "delta rad/s", "T s"],
+            rows,
+            title="Fig 5 — qualified bumps (lane changes + S-curve lobes)",
+        )
+    )
+    print_block(
+        render_table(
+            ["t [s]", "direction", "W [m]"],
+            [[f"{e.t_start:.1f}", e.direction, round(e.displacement, 2)] for e in events],
+            title="Accepted lane-change events (S-curve rejected by W <= 3 W_lane)",
+        )
+    )
+
+    # The S-curve produced qualified bumps...
+    s_of_t = np.interp([b.t_peak for b in bumps], aligned.t, aligned.s)
+    in_curve = [(s_curve_window[0] <= s <= s_curve_window[1]) for s in s_of_t]
+    assert any(in_curve), "S-curve must generate confusable bumps"
+    # ...but no event inside the S-curve window.
+    for e in events:
+        s_event = float(np.interp(e.t_start, aligned.t, aligned.s))
+        assert not (s_curve_window[0] + 20 <= s_event <= s_curve_window[1] - 20)
+    # All true maneuvers detected with correct directions.
+    score = score_lane_change_detection(detected, truth)
+    assert score.recall == 1.0
+    assert score.false_positives == 0
+    assert score.direction_errors == 0
+    # Accepted displacements are about one lane width.
+    for e in events:
+        assert abs(e.displacement) == pytest.approx(3.65, rel=0.35)
+
+
+def test_benchmark_detection(benchmark, scenario, thresholds):
+    _, _, aligned, _, _ = scenario
+    detector = LaneChangeDetector(LaneChangeDetectorConfig(thresholds=thresholds))
+    events = benchmark(detector.detect, aligned.t, aligned.w_steer, aligned.v)
+    assert isinstance(events, list)

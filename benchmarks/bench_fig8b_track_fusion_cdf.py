@@ -1,0 +1,77 @@
+"""Fig 8(b) — error CDFs versus the number of fused velocity tracks.
+
+Paper result: at CDF = 0.5 the no-fusion error is ~0.23 deg while any fused
+configuration sits near 0.09 deg, and three or more tracks suffice. The
+reproduction checks the same shape: fusing multiple velocity sources cuts
+the median error substantially, with diminishing returns past 2-3 tracks.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_block
+from repro.eval.metrics import cdf_value_at, error_cdf
+from repro.eval.runner import RunnerConfig, evaluate_fusion_counts
+from repro.eval.tables import render_series, render_table
+
+PAPER_MEDIANS = {1: 0.23, 2: 0.09, 3: 0.09, 4: 0.09}
+
+
+@pytest.fixture(scope="module")
+def fusion_errors(red_route_profile):
+    cfg = RunnerConfig(n_trips=1, seed=3)
+    return evaluate_fusion_counts(red_route_profile, cfg)
+
+
+def test_fig8b_cdfs(fusion_errors):
+    grid = np.linspace(0.0, 1.2, 60)
+    series = {}
+    medians = {}
+    for n_tracks, errors in sorted(fusion_errors.items()):
+        values, fractions = error_cdf(np.degrees(errors))
+        series[f"{n_tracks} track(s)"] = np.interp(grid, values, fractions)
+        medians[n_tracks] = float(np.degrees(cdf_value_at(errors, 0.5)))
+    print_block(
+        render_series(
+            grid,
+            series,
+            x_label="|err| deg",
+            max_rows=25,
+            precision=3,
+            title="Fig 8(b) — CDF of gradient error by fused track count",
+        )
+    )
+    print_block(
+        render_table(
+            ["tracks", "paper median deg", "repro median deg"],
+            [[k, PAPER_MEDIANS[k], round(v, 3)] for k, v in medians.items()],
+            title="Fig 8(b) summary — error at CDF = 0.5",
+        )
+    )
+    # Shape: fusion helps substantially vs the single GPS track...
+    assert medians[4] < 0.75 * medians[1]
+    # ...and 3-4 tracks are not much better than 2 (diminishing returns).
+    assert medians[4] > 0.5 * medians[2]
+
+
+def test_benchmark_fusion(benchmark, fusion_errors, red_route_profile):
+    from repro.core.track import GradientTrack
+    from repro.core.track_fusion import fuse_tracks
+
+    rng = np.random.default_rng(0)
+    n = 2000
+    s = np.linspace(0.0, 2000.0, n)
+    tracks = [
+        GradientTrack(
+            name=f"t{i}",
+            t=s / 10.0,
+            s=s,
+            theta=rng.normal(0.02, 0.003, n),
+            variance=np.full(n, 1e-4),
+            v=np.full(n, 10.0),
+        )
+        for i in range(4)
+    ]
+    grid = np.arange(50.0, 1950.0, 5.0)
+    fused = benchmark(fuse_tracks, tracks, grid)
+    assert len(fused) == len(grid)

@@ -1,0 +1,80 @@
+"""Fig 9(b) — error CDFs of OPS vs EKF vs ANN on the city network.
+
+Paper result at CDF = 0.5: OPS 0.09 deg, EKF 0.13 deg, ANN 0.36 deg, with
+OPS dominating at every fraction. The reproduction runs all three methods
+over the network coverage tour and checks the ordering and rough ratios.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_block
+from repro.eval.metrics import cdf_value_at, error_cdf
+from repro.eval.runner import RunnerConfig, evaluate_methods
+from repro.eval.tables import render_series, render_table
+
+PAPER_MEDIANS = {"ops": 0.09, "ekf": 0.13, "ann": 0.36}
+
+
+@pytest.fixture(scope="module")
+def network_comparison(network_tour):
+    _, profile = network_tour
+    cfg = RunnerConfig(n_trips=1, seed=11, trim_m=150.0)
+    return evaluate_methods(profile, methods=("ops", "ekf", "ann"), cfg=cfg)
+
+
+def test_fig9b_method_cdfs(network_comparison):
+    res = network_comparison
+    grid = np.linspace(0.0, 2.0, 60)
+    series = {}
+    medians = {}
+    for name, m in res.methods.items():
+        values, fractions = error_cdf(np.degrees(m.errors))
+        series[name] = np.interp(grid, values, fractions)
+        medians[name] = float(np.degrees(cdf_value_at(m.errors, 0.5)))
+    print_block(
+        render_series(
+            grid,
+            series,
+            x_label="|err| deg",
+            max_rows=25,
+            precision=3,
+            title="Fig 9(b) — CDF of gradient error by method (city network)",
+        )
+    )
+    print_block(
+        render_table(
+            ["method", "paper median deg", "repro median deg", "repro MRE"],
+            [
+                [name, PAPER_MEDIANS[name], round(medians[name], 3),
+                 f"{res.methods[name].mre * 100:.1f}%"]
+                for name in res.methods
+            ],
+            title="Fig 9(b) summary — error at CDF = 0.5",
+        )
+    )
+    # Shape: OPS has the least error at the median and across the CDF body.
+    assert medians["ops"] < medians["ekf"]
+    assert medians["ops"] < medians["ann"]
+    for frac in (0.25, 0.75):
+        ops_q = cdf_value_at(res.methods["ops"].errors, frac)
+        assert ops_q <= cdf_value_at(res.methods["ekf"].errors, frac) * 1.05
+        assert ops_q <= cdf_value_at(res.methods["ann"].errors, frac) * 1.05
+
+
+def test_benchmark_baseline_ekf(benchmark, network_tour):
+    from repro.baselines.ekf_altitude import AltitudeEKFConfig, estimate_gradient_ekf_baseline
+    from repro.eval.runner import RunnerConfig, collect_recordings
+
+    _, profile = network_tour
+    sub = profile.subprofile(0.0, min(5000.0, profile.length))
+    cfg = RunnerConfig(n_trips=1, seed=12)
+    (trace, rec), = collect_recordings(sub, cfg)
+    track = benchmark.pedantic(
+        estimate_gradient_ekf_baseline,
+        args=(rec, trace.s),
+        kwargs={"config": AltitudeEKFConfig(stride=2)},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(track) > 0

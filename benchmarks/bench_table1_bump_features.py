@@ -1,0 +1,61 @@
+"""Table I — bump features of the 10-driver steering study.
+
+Paper values (minimum row): delta = 0.1167 rad/s, T = 1.383 s. Our
+kinematic maneuver model produces gentler steering than human drivers, so
+the absolute minima land lower; the structure (eight cells, minima used as
+detection thresholds) is identical.
+"""
+
+import pytest
+
+from conftest import print_block
+from repro.datasets.steering_study import SteeringStudyConfig, run_steering_study
+from repro.eval.tables import render_table
+
+PAPER_TABLE_I = {
+    "delta_L+": 0.1215,
+    "delta_L-": 0.1445,
+    "delta_R+": 0.1723,
+    "delta_R-": 0.1167,
+    "T_L+": 1.625,
+    "T_L-": 1.766,
+    "T_R+": 1.383,
+    "T_R-": 2.072,
+    "delta_min": 0.1167,
+    "T_min": 1.383,
+}
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_steering_study(SteeringStudyConfig())
+
+
+def test_table1_regenerated(study):
+    rows = [
+        [cell, PAPER_TABLE_I[cell], study.table_rows[cell]]
+        for cell in PAPER_TABLE_I
+    ]
+    print_block(
+        render_table(
+            ["cell", "paper", "reproduced"],
+            rows,
+            title="Table I — lane-change bump features (rad/s | s)",
+        )
+    )
+    # Shape assertions: all eight cells positive, minima are the actual minima.
+    assert study.thresholds.delta == min(
+        study.table_rows[k] for k in ("delta_L+", "delta_L-", "delta_R+", "delta_R-")
+    )
+    assert study.thresholds.duration == min(
+        study.table_rows[k] for k in ("T_L+", "T_L-", "T_R+", "T_R-")
+    )
+    # Same order of magnitude as the paper.
+    assert 0.2 < study.thresholds.delta / PAPER_TABLE_I["delta_min"] < 2.0
+    assert 0.3 < study.thresholds.duration / PAPER_TABLE_I["T_min"] < 2.0
+
+
+def test_benchmark_steering_study(benchmark):
+    cfg = SteeringStudyConfig(n_drivers=3, speeds_kmh=(25.0, 45.0), repetitions=1)
+    result = benchmark(run_steering_study, cfg)
+    assert result.thresholds.delta > 0.0

@@ -1,0 +1,43 @@
+"""Table III — sections of the red evaluation route (Fig 7(b)).
+
+The paper reports the grade sign (uphill/downhill) and the same-direction
+lane count for each of the seven sections of the 2.16 km route. The
+synthetic red route is built to match it exactly.
+"""
+
+import numpy as np
+
+from conftest import print_block
+from repro.datasets.charlottesville import TABLE_III
+from repro.eval.tables import render_table
+from repro.roads.reference import survey_reference_profile
+
+
+def test_table3_regenerated(red_route_profile):
+    reference = survey_reference_profile(red_route_profile).smoothed(15.0)
+    rows = []
+    for section, sign, lanes in zip(
+        red_route_profile.sections, TABLE_III["grade_sign"], TABLE_III["lanes"]
+    ):
+        mid = (section.s_start + section.s_end) / 2.0
+        surveyed = float(np.degrees(reference.gradient_at(mid)))
+        surveyed_sign = "+" if surveyed >= 0 else "-"
+        rows.append(
+            [section.name, sign, surveyed_sign, lanes, section.lanes, round(surveyed, 2)]
+        )
+    print_block(
+        render_table(
+            ["section", "paper sign", "surveyed sign", "paper lanes", "built lanes", "grade deg"],
+            rows,
+            title="Table III — red-route sections (paper vs reproduction)",
+        )
+    )
+    for _, paper_sign, surveyed_sign, paper_lanes, built_lanes, _ in rows:
+        assert paper_sign == surveyed_sign
+        assert paper_lanes == built_lanes
+    assert red_route_profile.length == 2160.0
+
+
+def test_benchmark_reference_survey(benchmark, red_route_profile):
+    ref = benchmark(survey_reference_profile, red_route_profile)
+    assert len(ref) == 2160

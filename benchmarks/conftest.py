@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures.
+
+Each benchmark file regenerates one of the paper's tables or figures and
+prints it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables inline; without ``-s`` pytest captures them). Heavy experiment
+results are cached in session fixtures so timing hooks measure the
+interesting kernel, not repeated setup.
+
+Set ``REPRO_FULL_SCALE=1`` to run the Fig 9 experiments over the full
+~165 km network instead of the default 25 km coverage tour.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets.charlottesville import city_network, red_route
+from repro.datasets.steering_study import calibrated_thresholds
+from repro.eval.runner import RunnerConfig, evaluate_methods
+
+
+def full_scale() -> bool:
+    """Whether to run network experiments at the paper's full 165 km."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def red_route_profile():
+    return red_route()
+
+
+@pytest.fixture(scope="session")
+def thresholds():
+    return calibrated_thresholds()
+
+
+@pytest.fixture(scope="session")
+def red_route_comparison(red_route_profile):
+    """Fig 8(a) experiment: OPS vs EKF vs ANN on the red route."""
+    cfg = RunnerConfig(n_trips=2, seed=3)
+    return evaluate_methods(
+        red_route_profile, methods=("ops", "ekf", "ann"), cfg=cfg
+    )
+
+
+@pytest.fixture(scope="session")
+def network_tour():
+    """The Fig 9 driving route: a coverage tour of the city network."""
+    if full_scale():
+        net = city_network()
+        tour = net.coverage_tour()
+    else:
+        net = city_network(target_length_km=30.0)
+        tour = net.coverage_tour(max_length_m=25_000.0)
+    profile = net.route_profile(tour, name="city-tour")
+    return net, profile
+
+
+def print_block(text: str) -> None:
+    """Emit a result block that survives pytest's capture buffering."""
+    print("\n" + text + "\n", flush=True)

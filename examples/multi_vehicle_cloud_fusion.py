@@ -1,0 +1,75 @@
+"""Cloud-side multi-vehicle track fusion (Sec III-C3).
+
+Each vehicle that drives a road uploads its fused gradient track; the cloud
+applies the same Eq 6 convex combination across vehicles. Per-trip errors
+are partly systematic (that phone's accelerometer bias for the trip), so
+independent vehicles average them out — accuracy improves with fleet size.
+
+Run:  python examples/multi_vehicle_cloud_fusion.py
+"""
+
+import numpy as np
+
+from repro import (
+    GradientEstimationSystem,
+    GradientSystemConfig,
+    LaneChangeDetectorConfig,
+    Smartphone,
+    calibrated_thresholds,
+    fuse_estimates,
+    red_route,
+    simulate_trip,
+    survey_reference_profile,
+)
+from repro.vehicle import DriverProfile
+
+N_VEHICLES = 6
+
+
+def main() -> None:
+    route = red_route()
+    reference = survey_reference_profile(route).smoothed(15.0)
+    config = GradientSystemConfig(
+        detector=LaneChangeDetectorConfig(thresholds=calibrated_thresholds())
+    )
+    system = GradientEstimationSystem(route, config=config)
+
+    print(f"Simulating {N_VEHICLES} vehicles over {route.name} "
+          f"({route.length / 1000:.2f} km)...\n")
+    results = []
+    rng_base = 1000
+    for i in range(N_VEHICLES):
+        driver = DriverProfile(
+            name=f"vehicle-{i + 1}",
+            cruise_speed=(9.0 + 1.2 * (i % 4)),
+            lane_changes_per_km=2.0,
+        )
+        trace = simulate_trip(route, driver=driver, seed=rng_base + i)
+        recording = Smartphone().record(
+            trace, np.random.default_rng(rng_base + 100 + i)
+        )
+        result = system.estimate(recording)
+        results.append(result)
+
+        truth = np.asarray(reference.gradient_at(result.s_grid))
+        warm = result.s_grid > 80.0
+        err = np.degrees(
+            np.abs(result.fused.theta - truth)
+        )[warm].mean()
+        print(f"  vehicle {i + 1}: mean |error| {err:.3f} deg "
+              f"({result.n_lane_changes} lane changes detected)")
+
+    print("\nCloud fusion (Eq 6 across vehicles):")
+    for k in range(1, N_VEHICLES + 1):
+        fused = fuse_estimates(results[:k])
+        truth = np.asarray(reference.gradient_at(fused.s))
+        warm = fused.s > 80.0
+        err = np.degrees(np.abs(fused.theta - truth))[warm].mean()
+        print(f"  {k} vehicle(s): mean |error| {err:.3f} deg")
+
+    print("\nMore vehicles -> lower error: per-trip sensor biases are "
+          "independent and the convex combination averages them away.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Applications built on the gradient estimates (paper Sec IV-C + intro).
+
+* :mod:`velocity_optimizer` — fuel-optimal speed profiles over gradients;
+* :mod:`elevation` — road elevation reconstruction from gradient tracks;
+* :mod:`grade_map` — the cloud-side per-road gradient store (incremental
+  Eq 6 fusion + JSON persistence);
+* :mod:`routing` — least-fuel route planning.
+"""
+
+from .elevation import ElevationEstimate, climb_statistics, reconstruct_elevation
+from .grade_map import GradeMapStore, RoadGradeEntry
+from .routing import RouteComparison, compare_routes, edge_fuel_cost, least_fuel_route
+from .velocity_optimizer import (
+    VelocityOptimizerConfig,
+    VelocityPlan,
+    optimize_velocity_profile,
+)
+
+__all__ = [
+    "ElevationEstimate",
+    "climb_statistics",
+    "reconstruct_elevation",
+    "GradeMapStore",
+    "RoadGradeEntry",
+    "RouteComparison",
+    "compare_routes",
+    "edge_fuel_cost",
+    "least_fuel_route",
+    "VelocityOptimizerConfig",
+    "VelocityPlan",
+    "optimize_velocity_profile",
+]

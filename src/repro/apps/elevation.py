@@ -1,0 +1,93 @@
+"""Elevation reconstruction from estimated gradient tracks.
+
+A fused gradient profile integrates into an elevation profile
+(``dz = sin(theta) ds``) — the smartphone system thereby yields the road
+altitude map that Google Maps only provides for bike routes (the paper's
+introduction). The reconstruction needs one altitude anchor; absolute
+accuracy then degrades with route length as gradient errors integrate,
+which :func:`elevation_error_growth` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.track import GradientTrack
+from ..errors import EstimationError
+
+__all__ = ["ElevationEstimate", "reconstruct_elevation", "climb_statistics"]
+
+
+@dataclass
+class ElevationEstimate:
+    """Reconstructed elevation along a route."""
+
+    s: np.ndarray
+    z: np.ndarray
+    z_sigma: np.ndarray  # 1-sigma growth from integrated gradient variance
+
+    def total_ascent(self) -> float:
+        """Sum of positive elevation increments [m]."""
+        return float(np.sum(np.maximum(np.diff(self.z), 0.0)))
+
+    def total_descent(self) -> float:
+        """Sum of negative elevation increments [m] (positive number)."""
+        return float(-np.sum(np.minimum(np.diff(self.z), 0.0)))
+
+
+def reconstruct_elevation(
+    track: GradientTrack,
+    anchor_elevation: float = 0.0,
+    grid: np.ndarray | None = None,
+) -> ElevationEstimate:
+    """Integrate a gradient track into an elevation profile.
+
+    Parameters
+    ----------
+    track:
+        A (typically fused) gradient track.
+    anchor_elevation:
+        Altitude [m] at the route start (one GPS/barometer fix, or a known
+        landmark).
+    grid:
+        Optional position grid; defaults to the track's own ``s`` sorted.
+    """
+    if grid is None:
+        order = np.argsort(track.s)
+        grid = track.s[order]
+        theta = track.theta[order]
+        var = track.variance[order]
+    else:
+        grid = np.asarray(grid, dtype=float)
+        if grid.ndim != 1 or len(grid) < 2:
+            raise EstimationError("elevation grid needs at least two points")
+        theta, var = track.resample(grid)
+    ds = np.diff(grid)
+    if np.any(ds <= 0.0):
+        keep = np.concatenate([[True], ds > 0.0])
+        grid, theta, var = grid[keep], theta[keep], var[keep]
+        ds = np.diff(grid)
+        if len(grid) < 2:
+            raise EstimationError("degenerate position grid")
+
+    dz = np.sin(0.5 * (theta[:-1] + theta[1:])) * ds
+    z = anchor_elevation + np.concatenate([[0.0], np.cumsum(dz)])
+    # Integrated 1-sigma: independent per-segment gradient errors.
+    seg_var = 0.5 * (var[:-1] + var[1:]) * ds**2
+    z_sigma = np.sqrt(np.concatenate([[0.0], np.cumsum(seg_var)]))
+    return ElevationEstimate(s=grid.copy(), z=z, z_sigma=z_sigma)
+
+
+def climb_statistics(estimate: ElevationEstimate) -> dict:
+    """Summary numbers a routing or fitness application would surface."""
+    z = estimate.z
+    return {
+        "ascent_m": estimate.total_ascent(),
+        "descent_m": estimate.total_descent(),
+        "min_elevation_m": float(np.min(z)),
+        "max_elevation_m": float(np.max(z)),
+        "net_gain_m": float(z[-1] - z[0]),
+        "final_sigma_m": float(estimate.z_sigma[-1]),
+    }

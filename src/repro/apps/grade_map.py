@@ -1,0 +1,151 @@
+"""Cloud grade-map store: accumulate, fuse, persist per-road gradients.
+
+Sec III-C3's closing idea: vehicles upload their gradient tracks and "the
+cloud can use the track fusion algorithm to fuse road gradient results from
+different vehicles". This module is that cloud side: a store keyed by road
+edge that ingests tracks incrementally (Eq 6 against the current state, so
+nothing needs to be retained per vehicle), serves fused gradient profiles,
+and round-trips through JSON for persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from ..core.track import GradientTrack
+from ..core.track_fusion import convex_combination
+from ..errors import FusionError
+
+__all__ = ["RoadGradeEntry", "GradeMapStore"]
+
+
+@dataclass
+class RoadGradeEntry:
+    """Fused gradient state for one road."""
+
+    s: np.ndarray
+    theta: np.ndarray
+    variance: np.ndarray
+    n_tracks: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "s": self.s.tolist(),
+            "theta": self.theta.tolist(),
+            "variance": self.variance.tolist(),
+            "n_tracks": self.n_tracks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoadGradeEntry":
+        return cls(
+            s=np.asarray(data["s"], dtype=float),
+            theta=np.asarray(data["theta"], dtype=float),
+            variance=np.asarray(data["variance"], dtype=float),
+            n_tracks=int(data["n_tracks"]),
+        )
+
+
+class GradeMapStore:
+    """Incremental per-road gradient fusion with JSON persistence."""
+
+    def __init__(self, grid_spacing: float = 10.0) -> None:
+        if grid_spacing <= 0.0:
+            raise FusionError("grid spacing must be positive")
+        self.grid_spacing = grid_spacing
+        self._roads: dict[str, RoadGradeEntry] = {}
+
+    @staticmethod
+    def _key(road: Hashable) -> str:
+        return str(road)
+
+    def __contains__(self, road: Hashable) -> bool:
+        return self._key(road) in self._roads
+
+    def __len__(self) -> int:
+        return len(self._roads)
+
+    @property
+    def roads(self) -> list[str]:
+        """Keys of all roads with data."""
+        return sorted(self._roads)
+
+    def ingest(self, road: Hashable, track: GradientTrack, road_length: float) -> None:
+        """Fuse one vehicle's track for a road into the store.
+
+        ``track.s`` must be in the road's own arc-length frame
+        (0..road_length); the caller slices trip tracks per road.
+        """
+        if road_length <= self.grid_spacing:
+            raise FusionError("road shorter than one grid cell")
+        key = self._key(road)
+        n = int(road_length / self.grid_spacing) + 1
+        grid = np.arange(n) * self.grid_spacing
+        theta_new, var_new = track.resample(grid)
+
+        if key not in self._roads:
+            self._roads[key] = RoadGradeEntry(
+                s=grid, theta=theta_new, variance=var_new, n_tracks=1
+            )
+            return
+        entry = self._roads[key]
+        if len(entry.s) != n:
+            raise FusionError(
+                f"road {key!r} was registered with a different length"
+            )
+        fused, var = convex_combination(
+            np.stack([entry.theta, theta_new]),
+            np.stack([entry.variance, var_new]),
+        )
+        entry.theta = fused
+        entry.variance = var
+        entry.n_tracks += 1
+
+    def entry(self, road: Hashable) -> RoadGradeEntry:
+        """The fused state for a road (raises if absent)."""
+        key = self._key(road)
+        if key not in self._roads:
+            raise FusionError(f"no gradient data for road {key!r}")
+        return self._roads[key]
+
+    def gradient_at(self, road: Hashable, s: float | np.ndarray):
+        """Fused gradient [rad] at positions along a road."""
+        entry = self.entry(road)
+        scalar = np.isscalar(s)
+        out = np.interp(np.atleast_1d(np.asarray(s, dtype=float)), entry.s, entry.theta)
+        return float(out[0]) if scalar else out
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the whole store."""
+        payload = {
+            "grid_spacing": self.grid_spacing,
+            "roads": {key: entry.as_dict() for key, entry in self._roads.items()},
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GradeMapStore":
+        """Rebuild a store from :meth:`to_json` output."""
+        payload = json.loads(text)
+        store = cls(grid_spacing=float(payload["grid_spacing"]))
+        for key, entry in payload["roads"].items():
+            store._roads[key] = RoadGradeEntry.from_dict(entry)
+        return store
+
+    def save(self, path) -> None:
+        """Write the store to a file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "GradeMapStore":
+        """Read a store from a file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,16 @@
+"""Compared road-gradient estimation methods (paper Sec IV)."""
+
+from .ann import ANNBaselineConfig, ANNGradientEstimator, MLP, training_samples_from_recording
+from .barometer_direct import BarometerSlopeConfig, estimate_gradient_barometer
+from .ekf_altitude import AltitudeEKFConfig, estimate_gradient_ekf_baseline
+
+__all__ = [
+    "ANNBaselineConfig",
+    "ANNGradientEstimator",
+    "MLP",
+    "training_samples_from_recording",
+    "BarometerSlopeConfig",
+    "estimate_gradient_barometer",
+    "AltitudeEKFConfig",
+    "estimate_gradient_ekf_baseline",
+]

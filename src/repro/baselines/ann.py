@@ -1,0 +1,249 @@
+"""ANN baseline [8]: a from-scratch numpy multilayer perceptron.
+
+The compared neural method estimates road gradient from vehicle states —
+velocity, acceleration, and (barometric) altitude — after supervised
+training on samples with surveyed gradient labels. The paper trains it on
+4,320 samples and observes that the sample budget limits its accuracy
+(Sec IV-B1); the reproduction keeps that budget as the default.
+
+The network is implemented directly on numpy (no autograd): tanh hidden
+layers, linear output, Adam optimizer, MSE loss, input/output
+standardization. It is deliberately the modest architecture a 2010-era
+terramechanics paper would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.track import GradientTrack
+from ..errors import TrainingError
+from ..sensors.phone import PhoneRecording
+
+__all__ = ["MLP", "ANNBaselineConfig", "ANNGradientEstimator", "training_samples_from_recording"]
+
+
+class MLP:
+    """Minimal fully connected network: tanh hiddens, linear output."""
+
+    def __init__(
+        self,
+        layer_sizes: tuple[int, ...],
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise TrainingError("MLP needs at least input and output sizes")
+        rng = rng or np.random.default_rng(0)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights.append(rng.normal(0.0, scale, (fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Network output for a batch (N, n_in) -> (N, n_out)."""
+        h = np.asarray(x, dtype=float)
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i != last:
+                h = np.tanh(h)
+        return h
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Forward pass keeping layer activations for backprop."""
+        activations = [np.asarray(x, dtype=float)]
+        h = activations[0]
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i != last:
+                h = np.tanh(h)
+            activations.append(h)
+        return h, activations
+
+    def gradients(
+        self, activations: list[np.ndarray], grad_out: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Backprop: gradients of the loss w.r.t. weights and biases."""
+        grads_w: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        grads_b: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        delta = grad_out
+        for i in range(len(self.weights) - 1, -1, -1):
+            a_prev = activations[i]
+            grads_w[i] = a_prev.T @ delta / len(a_prev)
+            grads_b[i] = delta.mean(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights[i].T) * (1.0 - activations[i] ** 2)
+        return grads_w, grads_b
+
+
+@dataclass
+class ANNBaselineConfig:
+    """Architecture and training budget of the ANN baseline."""
+
+    hidden: tuple[int, ...] = (16, 16)
+    n_training_samples: int = 4320  # the paper's sample budget
+    epochs: int = 300
+    batch_size: int = 64
+    learning_rate: float = 3e-3
+    seed: int = 5
+    features: tuple[str, ...] = ("v", "a", "z")
+
+
+def training_samples_from_recording(
+    recording: PhoneRecording,
+    gradient_truth: np.ndarray,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw (features, labels) from a recording with surveyed gradients.
+
+    Features follow the paper: velocity, acceleration and altitude, all
+    measured with the smartphone; labels are the reference gradient at each
+    sampled instant.
+    """
+    n = len(recording.t)
+    gradient_truth = np.asarray(gradient_truth, dtype=float)
+    if gradient_truth.shape != (n,):
+        raise TrainingError("gradient labels must match the recording length")
+    if n_samples > n:
+        n_samples = n
+    idx = np.sort(rng.choice(n, size=n_samples, replace=False))
+    features = _feature_matrix(recording)
+    return features[idx], gradient_truth[idx][:, None]
+
+
+def _feature_matrix(recording: PhoneRecording) -> np.ndarray:
+    """The paper's (velocity, acceleration, altitude) feature triple.
+
+    *Vehicle acceleration* is the raw longitudinal accelerometer channel —
+    exactly what "acceleration measured with the smartphone" means. On a
+    gradient it contains the gravity component ``g sin(theta)``, but it also
+    carries the full engine/road vibration noise, which a pointwise network
+    cannot average away the way the EKF's temporal filtering does — the
+    structural reason this baseline trails OPS.
+    """
+    v = recording.speedometer.values
+    a = recording.accel_long.values
+    z = recording.barometer.values
+    return np.stack([v, a, z], axis=1)
+
+
+class ANNGradientEstimator:
+    """Train-once, estimate-everywhere ANN gradient baseline."""
+
+    def __init__(self, config: ANNBaselineConfig | None = None) -> None:
+        self.config = config or ANNBaselineConfig()
+        self._net: MLP | None = None
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._net is not None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> list[float]:
+        """Train on (N, 3) features and (N, 1) gradient labels.
+
+        Returns the per-epoch training losses (standardized MSE).
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(len(x), 1)
+        if len(x) == 0:
+            raise TrainingError("no training samples")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        self._x_mean = x.mean(axis=0)
+        self._x_std = np.maximum(x.std(axis=0), 1e-9)
+        self._y_mean = float(y.mean())
+        self._y_std = float(max(y.std(), 1e-9))
+        xs = (x - self._x_mean) / self._x_std
+        ys = (y - self._y_mean) / self._y_std
+
+        net = MLP((x.shape[1], *cfg.hidden, 1), rng=rng)
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in net.weights]
+        v_w = [np.zeros_like(w) for w in net.weights]
+        m_b = [np.zeros_like(b) for b in net.biases]
+        v_b = [np.zeros_like(b) for b in net.biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        losses: list[float] = []
+
+        for _ in range(cfg.epochs):
+            order = rng.permutation(len(xs))
+            epoch_loss = 0.0
+            for start in range(0, len(xs), cfg.batch_size):
+                batch = order[start : start + cfg.batch_size]
+                xb, yb = xs[batch], ys[batch]
+                pred, acts = net.forward_cached(xb)
+                err = pred - yb
+                epoch_loss += float(np.sum(err**2))
+                grads_w, grads_b = net.gradients(acts, 2.0 * err)
+                step += 1
+                corr1 = 1.0 - beta1**step
+                corr2 = 1.0 - beta2**step
+                for i in range(len(net.weights)):
+                    m_w[i] = beta1 * m_w[i] + (1 - beta1) * grads_w[i]
+                    v_w[i] = beta2 * v_w[i] + (1 - beta2) * grads_w[i] ** 2
+                    m_b[i] = beta1 * m_b[i] + (1 - beta1) * grads_b[i]
+                    v_b[i] = beta2 * v_b[i] + (1 - beta2) * grads_b[i] ** 2
+                    net.weights[i] -= cfg.learning_rate * (m_w[i] / corr1) / (
+                        np.sqrt(v_w[i] / corr2) + eps
+                    )
+                    net.biases[i] -= cfg.learning_rate * (m_b[i] / corr1) / (
+                        np.sqrt(v_b[i] / corr2) + eps
+                    )
+            losses.append(epoch_loss / len(xs))
+        self._net = net
+        return losses
+
+    def fit_recording(self, recording: PhoneRecording, gradient_truth: np.ndarray) -> list[float]:
+        """Convenience: sample the paper's training budget and fit."""
+        rng = np.random.default_rng(self.config.seed + 1)
+        x, y = training_samples_from_recording(
+            recording, gradient_truth, self.config.n_training_samples, rng
+        )
+        return self.fit(x, y)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Gradient predictions [rad] for (N, 3) features."""
+        if self._net is None:
+            raise TrainingError("ANN baseline used before training")
+        xs = (np.asarray(x, dtype=float) - self._x_mean) / self._x_std
+        out = self._net.forward(xs)
+        return out[:, 0] * self._y_std + self._y_mean
+
+    def estimate_track(
+        self,
+        recording: PhoneRecording,
+        s: np.ndarray,
+        name: str = "ann-baseline",
+        stride: int = 1,
+    ) -> GradientTrack:
+        """Estimate a gradient track for one recording."""
+        if stride < 1:
+            raise TrainingError("stride must be >= 1")
+        t = recording.t[::stride]
+        x = _feature_matrix(recording)[::stride]
+        theta = self.predict(x)
+        # A trained net has no innovation covariance; report its training
+        # residual scale so fusion-style consumers can still weight it.
+        var = np.full(len(t), self._y_std**2 * 0.25)
+        return GradientTrack(
+            name=name,
+            t=t.copy(),
+            s=np.asarray(s, dtype=float)[::stride].copy(),
+            theta=theta,
+            variance=var,
+            v=recording.speedometer.values[::stride].copy(),
+            meta={"method": "ann", "stride": stride},
+        )

@@ -1,0 +1,80 @@
+"""Naive barometer-slope baseline (sanity / ablation comparator).
+
+Not one of the paper's compared methods, but the obvious "why not just use
+the barometer" strawman the paper's Sec III-C1 argues against: smooth the
+barometric altitude, finite-difference it against travelled distance, and
+call ``arcsin(dz/ds)`` the gradient. Its error floor is set by the
+barometer's metre-level noise over the differencing window, which the
+noise-sensitivity ablation makes visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.track import GradientTrack
+from ..errors import EstimationError
+from ..sensors.phone import PhoneRecording
+
+__all__ = ["BarometerSlopeConfig", "estimate_gradient_barometer"]
+
+
+@dataclass(frozen=True)
+class BarometerSlopeConfig:
+    """Differencing window and smoothing of the naive baseline."""
+
+    window_m: float = 60.0
+    smooth_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.window_m <= 0.0 or self.smooth_s < 0.0:
+            raise EstimationError("bad barometer-slope configuration")
+
+
+def estimate_gradient_barometer(
+    recording: PhoneRecording,
+    s: np.ndarray,
+    config: BarometerSlopeConfig | None = None,
+    name: str = "barometer-slope",
+) -> GradientTrack:
+    """Finite-difference gradient from barometric altitude.
+
+    ``theta(t) = arcsin( (z(s + w/2) - z(s - w/2)) / w )`` with the altitude
+    series pre-smoothed by a moving average of ``smooth_s`` seconds.
+    """
+    cfg = config or BarometerSlopeConfig()
+    t = recording.t
+    s = np.asarray(s, dtype=float)
+    if s.shape != t.shape:
+        raise EstimationError("arc-length array must match the recording timebase")
+
+    z = recording.barometer.values
+    dt = recording.dt
+    k = max(1, int(round(cfg.smooth_s / dt)))
+    kernel = np.ones(k) / k
+    z_smooth = np.convolve(z, kernel, mode="same")
+
+    # Difference at +- window/2 along the travelled distance.
+    half = cfg.window_m / 2.0
+    order = np.argsort(s)
+    s_sorted = s[order]
+    z_sorted = z_smooth[order]
+    z_fwd = np.interp(np.clip(s + half, s_sorted[0], s_sorted[-1]), s_sorted, z_sorted)
+    z_bwd = np.interp(np.clip(s - half, s_sorted[0], s_sorted[-1]), s_sorted, z_sorted)
+    ratio = np.clip((z_fwd - z_bwd) / cfg.window_m, -0.99, 0.99)
+    theta = np.arcsin(ratio)
+
+    # Error scale: two smoothed altitude reads over the window.
+    z_read_var = np.var(z - z_smooth) / max(k, 1) + 0.25
+    var = np.full(len(t), 2.0 * z_read_var / cfg.window_m**2)
+    return GradientTrack(
+        name=name,
+        t=t.copy(),
+        s=s.copy(),
+        theta=theta,
+        variance=var,
+        v=recording.speedometer.values.copy(),
+        meta={"method": "barometer-slope", "window_m": cfg.window_m},
+    )

@@ -1,0 +1,84 @@
+"""Physical constants and paper-level parameter defaults.
+
+All values carry SI units unless the name says otherwise. The lane-change
+calibration constants (``DELTA_MIN_RAD_S``, ``T_MIN_S``) are the Table I
+minima from the paper's 10-driver steering study; the reproduction
+re-derives them from the synthetic steering study in
+:mod:`repro.datasets.steering_study` and the benchmark
+``bench_table1_bump_features.py`` compares both.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "GRAVITY",
+    "AIR_DENSITY",
+    "EARTH_RADIUS",
+    "LANE_WIDTH_M",
+    "LANE_CHANGE_DISPLACEMENT_FACTOR",
+    "BUMP_THRESHOLD_COEFF",
+    "DELTA_MIN_RAD_S",
+    "T_MIN_S",
+    "GPS_SAMPLE_PERIOD_S",
+    "PHONE_SAMPLE_RATE_HZ",
+    "CO2_G_PER_GALLON",
+    "PM25_G_PER_GALLON",
+    "GASOLINE_GGE",
+    "KMH",
+    "MPH",
+    "DEG",
+]
+
+#: Standard gravitational acceleration [m/s^2].
+GRAVITY = 9.80665
+
+#: Average air density at sea level [kg/m^3] (Eq 3's rho).
+AIR_DENSITY = 1.2041
+
+#: Mean Earth radius [m] used by the equirectangular/haversine geodesy.
+EARTH_RADIUS = 6_371_008.8
+
+#: Average lateral displacement of a single lane change, W_lane [m]
+#: (Sec III-B2, from the naturalistic lane-change study [18]/[15]).
+LANE_WIDTH_M = 3.65
+
+#: A bump pair is accepted as a lane change only when its lateral
+#: displacement W satisfies ``W <= LANE_CHANGE_DISPLACEMENT_FACTOR * LANE_WIDTH_M``
+#: (the paper's ``3 * W_lane`` rule).
+LANE_CHANGE_DISPLACEMENT_FACTOR = 3.0
+
+#: Fraction of the peak steering-rate magnitude used to measure the bump
+#: duration T (the paper's 0.7*delta threshold; tunable per Sec III-B1).
+BUMP_THRESHOLD_COEFF = 0.7
+
+#: Table I minimum bump magnitude delta [rad/s].
+DELTA_MIN_RAD_S = 0.1167
+
+#: Table I minimum bump duration T [s].
+T_MIN_S = 1.383
+
+#: GPS position updates arrive once per second (Sec III-A).
+GPS_SAMPLE_PERIOD_S = 1.0
+
+#: Default smartphone IMU sampling rate f_sample [Hz].
+PHONE_SAMPLE_RATE_HZ = 50.0
+
+#: Grams of CO2 emitted per gallon of gasoline burned (Sec III-E).
+CO2_G_PER_GALLON = 8_908.0
+
+#: Grams of PM2.5 emitted per gallon of gasoline burned (Sec III-E).
+PM25_G_PER_GALLON = 0.084
+
+#: Gasoline gallon equivalent coefficient GGE used by Eq 7 / Table II.
+GASOLINE_GGE = 0.0545
+
+#: Multiply km/h by this to get m/s.
+KMH = 1000.0 / 3600.0
+
+#: Multiply mph by this to get m/s.
+MPH = 1609.344 / 3600.0
+
+#: Multiply degrees by this to get radians.
+DEG = math.pi / 180.0

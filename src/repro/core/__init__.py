@@ -1,0 +1,58 @@
+"""Core contribution: EKF gradient estimation, lane-change handling, fusion."""
+
+from .bias_ekf import BiasEKFConfig, estimate_track_bias_augmented
+from .ekf import EKFModel, ExtendedKalmanFilter
+from .online import StreamingGradientEstimator, StreamState
+from .gradient_ekf import (
+    GradientEKFConfig,
+    estimate_track,
+    estimate_track_generic,
+    measurements_on_timebase,
+)
+from .lane_change import (
+    PAPER_THRESHOLDS,
+    LaneChangeDetector,
+    LaneChangeDetectorConfig,
+    LaneChangeEvent,
+    LaneChangeThresholds,
+    calibrate_thresholds,
+    loess_smooth,
+)
+from .pipeline import (
+    EstimationResult,
+    GradientEstimationSystem,
+    GradientSystemConfig,
+    fuse_estimates,
+)
+from .state_space import PROCESS_MODELS, GradientStateSpace
+from .track import GradientTrack
+from .track_fusion import convex_combination, fuse_tracks
+
+__all__ = [
+    "BiasEKFConfig",
+    "estimate_track_bias_augmented",
+    "EKFModel",
+    "ExtendedKalmanFilter",
+    "StreamingGradientEstimator",
+    "StreamState",
+    "GradientEKFConfig",
+    "estimate_track",
+    "estimate_track_generic",
+    "measurements_on_timebase",
+    "PAPER_THRESHOLDS",
+    "LaneChangeDetector",
+    "LaneChangeDetectorConfig",
+    "LaneChangeEvent",
+    "LaneChangeThresholds",
+    "calibrate_thresholds",
+    "loess_smooth",
+    "EstimationResult",
+    "GradientEstimationSystem",
+    "GradientSystemConfig",
+    "fuse_estimates",
+    "PROCESS_MODELS",
+    "GradientStateSpace",
+    "GradientTrack",
+    "convex_combination",
+    "fuse_tracks",
+]

@@ -1,0 +1,41 @@
+"""Lane-change detection and correction (paper Sec III-B)."""
+
+from .bumps import Bump, find_bumps
+from .correction import correct_velocity_array, correct_velocity_signal, heading_deviation
+from .detector import (
+    PAPER_THRESHOLDS,
+    LaneChangeDetector,
+    LaneChangeDetectorConfig,
+    LaneChangeEvent,
+    lateral_displacement,
+)
+from .features import (
+    BumpFeatures,
+    LaneChangeThresholds,
+    ManeuverFeatures,
+    calibrate_thresholds,
+    maneuver_features,
+    measure_bump,
+)
+from .smoothing import loess_smooth, tricube_kernel
+
+__all__ = [
+    "Bump",
+    "find_bumps",
+    "correct_velocity_array",
+    "correct_velocity_signal",
+    "heading_deviation",
+    "PAPER_THRESHOLDS",
+    "LaneChangeDetector",
+    "LaneChangeDetectorConfig",
+    "LaneChangeEvent",
+    "lateral_displacement",
+    "BumpFeatures",
+    "LaneChangeThresholds",
+    "ManeuverFeatures",
+    "calibrate_thresholds",
+    "maneuver_features",
+    "measure_bump",
+    "loess_smooth",
+    "tricube_kernel",
+]

@@ -1,0 +1,87 @@
+"""Lane-change effect elimination (paper Eq 2).
+
+During a lane change the measured vehicle speed is the path speed, not the
+along-road (longitudinal) speed the gradient estimator needs. Once a
+maneuver is detected, the longitudinal velocity is recovered as
+
+    v_L_i = v_i * cos( sum_{j<=i} w_steer_j * Omega )            (Eq 2)
+
+with the heading deviation integrated from the steering rate across the
+maneuver. Outside detected maneuvers velocities pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import EstimationError
+from ...sensors.base import SampledSignal
+from .detector import LaneChangeEvent
+
+__all__ = ["heading_deviation", "correct_velocity_array", "correct_velocity_signal"]
+
+
+def heading_deviation(
+    t: np.ndarray,
+    w_steer: np.ndarray,
+    events: list[LaneChangeEvent],
+) -> np.ndarray:
+    """Heading deviation alpha(t) [rad], nonzero only inside maneuvers.
+
+    Within each detected event the steering rate is integrated from the
+    event start (where the vehicle is assumed parallel to the road).
+    """
+    t = np.asarray(t, dtype=float)
+    w = np.asarray(w_steer, dtype=float)
+    if t.shape != w.shape:
+        raise EstimationError("t and w_steer must match")
+    alpha = np.zeros_like(w)
+    for event in events:
+        lo, hi = event.i_start, event.i_end
+        if not (0 <= lo < hi <= len(t)):
+            raise EstimationError(f"event span [{lo}, {hi}) outside profile")
+        dt = np.diff(t[lo:hi], prepend=t[lo])
+        alpha[lo:hi] = np.cumsum(w[lo:hi] * dt)
+    return alpha
+
+
+def correct_velocity_array(
+    t_velocity: np.ndarray,
+    v: np.ndarray,
+    t_steer: np.ndarray,
+    w_steer: np.ndarray,
+    events: list[LaneChangeEvent],
+) -> np.ndarray:
+    """Eq 2 applied to a velocity series on its own timebase.
+
+    The heading deviation is computed on the steering timebase and
+    interpolated onto the velocity timestamps; NaN velocity samples stay
+    NaN.
+    """
+    v = np.asarray(v, dtype=float)
+    t_velocity = np.asarray(t_velocity, dtype=float)
+    if v.shape != t_velocity.shape:
+        raise EstimationError("velocity values/timestamps must match")
+    if not events:
+        return v.copy()
+    alpha = heading_deviation(t_steer, w_steer, events)
+    alpha_at_v = np.interp(t_velocity, t_steer, alpha)
+    return v * np.cos(alpha_at_v)
+
+
+def correct_velocity_signal(
+    signal: SampledSignal,
+    t_steer: np.ndarray,
+    w_steer: np.ndarray,
+    events: list[LaneChangeEvent],
+) -> SampledSignal:
+    """A lane-change-corrected copy of a velocity source signal."""
+    corrected = correct_velocity_array(signal.t, signal.values, t_steer, w_steer, events)
+    return SampledSignal(
+        t=signal.t.copy(),
+        values=corrected,
+        name=signal.name,
+        unit=signal.unit,
+        valid=signal.valid.copy(),
+        meta={**signal.meta, "lane_change_corrected": bool(events)},
+    )

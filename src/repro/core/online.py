@@ -1,0 +1,168 @@
+"""Streaming gradient estimation — the on-phone deployment API.
+
+The batch pipeline (:class:`GradientEstimationSystem`) processes whole
+recordings; a phone app instead consumes samples as they arrive. This
+module wraps the same state-space model and tuning in an incremental API:
+
+    est = StreamingGradientEstimator(dt=0.02)
+    for each tick:
+        state = est.push(accel_sample, v_meas_or_None)
+        state.theta        # current gradient estimate [rad]
+
+The estimator is algebraically the scalar forward filter of
+:func:`repro.core.gradient_ekf.estimate_track` — a unit test pins the two
+to identical outputs — with a ring of recent history for light-weight
+introspection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import GRAVITY
+from ..errors import EstimationError
+from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
+from .gradient_ekf import GradientEKFConfig
+
+__all__ = ["StreamState", "StreamingGradientEstimator"]
+
+
+@dataclass(frozen=True)
+class StreamState:
+    """Snapshot of the streaming filter after one tick."""
+
+    t: float
+    v: float
+    theta: float
+    theta_variance: float
+    updated: bool  # whether a velocity measurement was fused this tick
+
+
+class StreamingGradientEstimator:
+    """Incremental [v, theta] gradient EKF fed one sample at a time."""
+
+    def __init__(
+        self,
+        dt: float,
+        vehicle: VehicleParams | None = None,
+        config: GradientEKFConfig | None = None,
+        measurement_std: float = 0.2,
+        v0: float | None = None,
+    ) -> None:
+        if dt <= 0.0:
+            raise EstimationError("dt must be positive")
+        cfg = config or GradientEKFConfig()
+        if cfg.smooth:
+            raise EstimationError("streaming estimation cannot smooth backward")
+        vehicle = vehicle or DEFAULT_VEHICLE
+        self.dt = dt
+        self._specific_force = cfg.process == "specific_force"
+        self._drift_coeff = vehicle.drag_term / vehicle.weight
+        self._q_v = (cfg.accel_noise_std * dt) ** 2
+        self._q_t = cfg.grade_rate_std**2 * dt
+        self._r = measurement_std**2
+        self._clamp = math.pi / 3.0
+
+        self._t = 0.0
+        self._v = 0.0 if v0 is None else float(v0)
+        self._need_init = v0 is None
+        self._theta = 0.0
+        self._p11 = cfg.initial_speed_std**2
+        self._p12 = 0.0
+        self._p22 = cfg.initial_grade_std**2
+        self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        """Samples processed so far."""
+        return self._ticks
+
+    @property
+    def state(self) -> StreamState:
+        """The latest snapshot."""
+        return StreamState(
+            t=self._t,
+            v=self._v,
+            theta=self._theta,
+            theta_variance=self._p22,
+            updated=False,
+        )
+
+    def push(self, accel: float, v_meas: float | None = None) -> StreamState:
+        """Advance one tick with an accelerometer sample and, when a
+        velocity measurement arrived this tick, fuse it."""
+        if self._need_init:
+            # Bootstrap the velocity state from the first measurement.
+            if v_meas is not None:
+                self._v = float(v_meas)
+                self._need_init = False
+        g = GRAVITY
+        dt = self.dt
+        sin_t = math.sin(self._theta)
+        cos_t = max(math.cos(self._theta), 1e-6)
+        a_long = accel - g * sin_t if self._specific_force else accel
+
+        if self._specific_force:
+            b = -g * cos_t * dt
+            ddrift_dtheta = self._drift_coeff * self._v * (
+                -g + a_long * sin_t / cos_t**2
+            )
+        else:
+            b = 0.0
+            ddrift_dtheta = self._drift_coeff * self._v * a_long * sin_t / cos_t**2
+        c = self._drift_coeff * a_long / cos_t * dt
+        d = 1.0 + ddrift_dtheta * dt
+
+        drift = self._drift_coeff * self._v * a_long / cos_t
+        self._v = max(self._v + a_long * dt, 0.0)
+        self._theta = float(
+            np.clip(self._theta + drift * dt, -self._clamp, self._clamp)
+        )
+
+        p11, p12, p22 = self._p11, self._p12, self._p22
+        np11 = p11 + b * p12 + b * (p12 + b * p22) + self._q_v
+        np12 = c * p11 + (d + b * c) * p12 + b * d * p22
+        np22 = c * c * p11 + 2.0 * c * d * p12 + d * d * p22 + self._q_t
+        self._p11, self._p12, self._p22 = np11, np12, np22
+
+        updated = False
+        if v_meas is not None and not self._need_init:
+            s_inno = self._p11 + self._r
+            k1 = self._p11 / s_inno
+            k2 = self._p12 / s_inno
+            inno = float(v_meas) - self._v
+            self._v += k1 * inno
+            self._theta += k2 * inno
+            one_m = 1.0 - k1
+            self._p22 = self._p22 - k2 * self._p12
+            self._p12 = one_m * self._p12
+            self._p11 = one_m * self._p11
+            updated = True
+
+        self._t += dt
+        self._ticks += 1
+        return StreamState(
+            t=self._t,
+            v=self._v,
+            theta=self._theta,
+            theta_variance=self._p22,
+            updated=updated,
+        )
+
+    def run(self, accel: np.ndarray, v_meas: np.ndarray) -> np.ndarray:
+        """Convenience: push whole arrays (NaN in ``v_meas`` = no update).
+
+        Returns the theta series.
+        """
+        accel = np.asarray(accel, dtype=float)
+        v_meas = np.asarray(v_meas, dtype=float)
+        if accel.shape != v_meas.shape:
+            raise EstimationError("accel and v_meas must match")
+        out = np.empty(len(accel))
+        for i in range(len(accel)):
+            z = None if math.isnan(v_meas[i]) else float(v_meas[i])
+            out[i] = self.push(float(accel[i]), z).theta
+        return out

@@ -1,0 +1,179 @@
+"""The complete road-gradient estimation system (OPS, paper Fig 1).
+
+``GradientEstimationSystem`` wires the four stages together:
+
+1. **data collection** — the smartphone coordinate alignment turns the gyro
+   into a steering-rate profile and map-matches GPS to route positions;
+2. **data adjustment** — lane-change detection (Algorithm 1) and Eq 2
+   longitudinal-velocity correction;
+3. **road gradient estimation** — one EKF gradient track per velocity
+   source (GPS / speedometer / accelerometer / CAN-bus);
+4. **track fusion** — Eq 6 convex combination onto a position grid.
+
+Multi-vehicle (cloud) fusion reuses the same Eq 6 on the per-trip fused
+tracks: :func:`fuse_estimates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import EstimationError
+from ..roads.profile import RoadProfile
+from ..sensors.alignment import AlignedSteering, CoordinateAlignment
+from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording
+from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
+from .gradient_ekf import GradientEKFConfig, estimate_track
+from .lane_change.correction import correct_velocity_signal
+from .lane_change.detector import LaneChangeDetector, LaneChangeDetectorConfig, LaneChangeEvent
+from .track import GradientTrack
+from .track_fusion import fuse_tracks
+
+__all__ = ["GradientSystemConfig", "EstimationResult", "GradientEstimationSystem", "fuse_estimates"]
+
+
+@dataclass(frozen=True)
+class GradientSystemConfig:
+    """End-to-end system configuration.
+
+    Attributes
+    ----------
+    velocity_sources:
+        Which of the four sources to run tracks for (Fig 8(b) sweeps this).
+    apply_lane_change_correction:
+        Eq 2 on/off — the lane-change ablation switch.
+    fusion_grid_spacing:
+        Position grid step [m] for track fusion and the final profile.
+    """
+
+    ekf: GradientEKFConfig = field(default_factory=GradientEKFConfig)
+    detector: LaneChangeDetectorConfig = field(default_factory=LaneChangeDetectorConfig)
+    velocity_sources: tuple[str, ...] = VELOCITY_SOURCES
+    apply_lane_change_correction: bool = True
+    fusion_grid_spacing: float = 5.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.velocity_sources) - set(VELOCITY_SOURCES)
+        if unknown:
+            raise EstimationError(f"unknown velocity sources: {sorted(unknown)}")
+        if not self.velocity_sources:
+            raise EstimationError("at least one velocity source is required")
+        if self.fusion_grid_spacing <= 0.0:
+            raise EstimationError("fusion grid spacing must be positive")
+
+
+@dataclass
+class EstimationResult:
+    """Everything one trip's estimation produced."""
+
+    fused: GradientTrack
+    tracks: dict[str, GradientTrack]
+    events: list[LaneChangeEvent]
+    aligned: AlignedSteering
+    s_grid: np.ndarray
+
+    def gradient_at(self, s: float | np.ndarray):
+        """Fused gradient [rad] at arc length ``s`` (linear interpolation)."""
+        scalar = np.isscalar(s)
+        s_arr = np.atleast_1d(np.asarray(s, dtype=float))
+        out = np.interp(s_arr, self.fused.s, self.fused.theta)
+        return float(out[0]) if scalar else out
+
+    @property
+    def n_lane_changes(self) -> int:
+        """Number of detected lane changes."""
+        return len(self.events)
+
+
+class GradientEstimationSystem:
+    """OPS: the paper's proposed system, end to end.
+
+    Parameters
+    ----------
+    road_map:
+        Road geometry (positions/curvature only — the *gradient* field is
+        never read; it is exactly what the system estimates). This mirrors
+        the paper, where road geography comes from a map service while the
+        gradient is unknown.
+    """
+
+    def __init__(
+        self,
+        road_map: RoadProfile,
+        vehicle: VehicleParams | None = None,
+        config: GradientSystemConfig | None = None,
+    ) -> None:
+        self.road_map = road_map
+        self.vehicle = vehicle or DEFAULT_VEHICLE
+        self.config = config or GradientSystemConfig()
+        self._alignment = CoordinateAlignment(road_map)
+        self._detector = LaneChangeDetector(self.config.detector)
+
+    def estimate(self, recording: PhoneRecording) -> EstimationResult:
+        """Estimate the road-gradient profile from one phone recording."""
+        cfg = self.config
+
+        # Stage 1: coordinate alignment (Fig 2).
+        aligned = self._alignment.align(
+            recording.gyro, recording.speedometer, recording.gps
+        )
+
+        # Stage 2: lane-change detection + Eq 2 correction.
+        w_smooth = self._detector.smooth(aligned.w_steer)
+        events = self._detector.detect(aligned.t, w_smooth, aligned.v, presmoothed=True)
+
+        # Stage 3: one gradient track per velocity source.
+        tracks: dict[str, GradientTrack] = {}
+        for source in cfg.velocity_sources:
+            signal = recording.velocity_source(source)
+            if cfg.apply_lane_change_correction and events:
+                signal = correct_velocity_signal(signal, aligned.t, w_smooth, events)
+            tracks[source] = estimate_track(
+                recording.accel_long,
+                signal,
+                aligned.s,
+                vehicle=self.vehicle,
+                config=cfg.ekf,
+                name=source,
+            )
+
+        # Stage 4: Eq 6 track fusion on a position grid.
+        s_grid = self._fusion_grid(aligned)
+        fused = fuse_tracks(list(tracks.values()), s_grid, name="fused")
+        return EstimationResult(
+            fused=fused, tracks=tracks, events=events, aligned=aligned, s_grid=s_grid
+        )
+
+    def _fusion_grid(self, aligned: AlignedSteering) -> np.ndarray:
+        finite = aligned.s[np.isfinite(aligned.s)]
+        if len(finite) < 2:
+            raise EstimationError("alignment produced no usable positions")
+        lo = max(0.0, float(np.min(finite)))
+        hi = min(self.road_map.length, float(np.max(finite)))
+        if hi - lo < self.config.fusion_grid_spacing:
+            raise EstimationError("trip covers less than one fusion grid cell")
+        n = int((hi - lo) / self.config.fusion_grid_spacing) + 1
+        return lo + np.arange(n) * self.config.fusion_grid_spacing
+
+
+def fuse_estimates(
+    results: list[EstimationResult],
+    s_grid: np.ndarray | None = None,
+    name: str = "cloud-fused",
+) -> GradientTrack:
+    """Cloud-side fusion of several trips' fused tracks (Sec III-C3).
+
+    Different vehicles (or repeated runs) upload their per-trip fused
+    gradient tracks; the cloud applies the same Eq 6 convex combination.
+    When ``s_grid`` is omitted, the union of the trips' grids defines it.
+    """
+    if not results:
+        raise EstimationError("fuse_estimates needs at least one result")
+    if s_grid is None:
+        lo = min(float(r.s_grid[0]) for r in results)
+        hi = max(float(r.s_grid[-1]) for r in results)
+        spacing = float(np.median(np.diff(results[0].s_grid)))
+        s_grid = lo + np.arange(int((hi - lo) / spacing) + 1) * spacing
+    return fuse_tracks([r.fused for r in results], np.asarray(s_grid, dtype=float), name=name)

@@ -1,0 +1,31 @@
+"""Deterministic synthetic datasets: steering study, Charlottesville roads."""
+
+from .charlottesville import (
+    RED_ROUTE_SECTIONS,
+    TABLE_III,
+    city_network,
+    red_route,
+    s_curve_route,
+)
+from .steering_study import (
+    DriverManeuvers,
+    SteeringStudyConfig,
+    SteeringStudyResult,
+    calibrated_thresholds,
+    maneuver_profile,
+    run_steering_study,
+)
+
+__all__ = [
+    "RED_ROUTE_SECTIONS",
+    "TABLE_III",
+    "city_network",
+    "red_route",
+    "s_curve_route",
+    "DriverManeuvers",
+    "SteeringStudyConfig",
+    "SteeringStudyResult",
+    "calibrated_thresholds",
+    "maneuver_profile",
+    "run_steering_study",
+]

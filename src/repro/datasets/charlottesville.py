@@ -1,0 +1,126 @@
+"""Synthetic Charlottesville: the paper's two experimental road sets.
+
+* :func:`red_route` — the 2.16 km evaluation route of Fig 7(b), built to
+  match **Table III exactly**: seven sections with alternating
+  uphill/downhill gradients and lane counts 1, 1, 1, 1, 2, 2, 1.
+* :func:`city_network` — a ~165 km synthetic city network standing in for
+  the paper's 164.80 km of Charlottesville roads (Fig 7(a)), including
+  multi-lane arterials (lane changes), S-shaped residential streets, and
+  GPS-outage stretches — the "different road conditions" of Sec IV-B1.
+* :func:`s_curve_route` — the Fig 5 scenario: a right lane change followed
+  by an S-shaped road, for the displacement-rule experiment.
+
+Everything is deterministic; ``seed`` arguments pick the universe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import DEG
+from ..roads.builder import SectionSpec, build_profile, s_curve_specs
+from ..roads.elevation import ElevationField
+from ..roads.generator import CityGeneratorConfig, generate_city_network
+from ..roads.geometry import GeoPoint, LocalFrame
+from ..roads.network import RoadNetwork
+from ..roads.profile import RoadProfile
+
+__all__ = [
+    "RED_ROUTE_SECTIONS",
+    "red_route",
+    "city_network",
+    "s_curve_route",
+    "TABLE_III",
+]
+
+#: Fig 7(b) / Table III: (length m, grade deg, lanes, turn deg) per section.
+#: Signs alternate +,-,+,-,+,-,+ and lane counts are 1,1,1,1,2,2,1; section
+#: lengths sum to the paper's 2.16 km.
+RED_ROUTE_SECTIONS: tuple[tuple[float, float, int, float], ...] = (
+    (320.0, +2.6, 1, 12.0),
+    (280.0, -1.9, 1, -8.0),
+    (300.0, +3.3, 1, 15.0),
+    (320.0, -2.7, 1, -6.0),
+    (360.0, +2.1, 2, 10.0),
+    (300.0, -2.3, 2, -12.0),
+    (280.0, +2.9, 1, 5.0),
+)
+
+#: Table III rendered from the section specs: grade sign and lane count.
+TABLE_III = {
+    "sections": ["0-1", "1-2", "2-3", "3-4", "4-5", "5-6", "6-7"],
+    "grade_sign": ["+", "-", "+", "-", "+", "-", "+"],
+    "lanes": [1, 1, 1, 1, 2, 2, 1],
+}
+
+_CHARLOTTESVILLE = GeoPoint(38.0293, -78.4767, 180.0)
+
+
+def red_route(spacing: float = 1.0) -> RoadProfile:
+    """The 2.16 km Table III evaluation route (deterministic)."""
+    specs = [
+        SectionSpec.from_degrees(length, grade, lanes, turn, name=f"{i}-{i + 1}")
+        for i, (length, grade, lanes, turn) in enumerate(RED_ROUTE_SECTIONS)
+    ]
+    return build_profile(
+        specs,
+        spacing=spacing,
+        smooth_m=30.0,
+        start_elevation=_CHARLOTTESVILLE.alt,
+        name="red-route",
+        frame=LocalFrame(_CHARLOTTESVILLE),
+    )
+
+
+def city_network(seed: int = 42, target_length_km: float | None = None) -> RoadNetwork:
+    """The synthetic city (~165 km of roads by default).
+
+    ``target_length_km`` trims the generator grid for faster test runs;
+    None keeps the full Charlottesville-sized network.
+    """
+    if target_length_km is None:
+        config = CityGeneratorConfig(seed=seed)
+    else:
+        # Scale the grid so expected total length lands near the target.
+        full = CityGeneratorConfig(seed=seed)
+        scale = np.sqrt(max(target_length_km, 2.0) / 165.0)
+        config = CityGeneratorConfig(
+            nx_nodes=max(3, int(round(full.nx_nodes * scale))),
+            ny_nodes=max(3, int(round(full.ny_nodes * scale))),
+            seed=seed,
+        )
+    terrain = ElevationField(seed=seed + 1)
+    return generate_city_network(config, terrain)
+
+
+def s_curve_route(
+    lane_change_section_m: float = 500.0,
+    s_curve_length_m: float = 240.0,
+    sweep_deg: float = 48.0,
+    grade_deg: float = 1.2,
+    spacing: float = 1.0,
+) -> RoadProfile:
+    """The Fig 5 scenario route: multi-lane straight, then an S-curve.
+
+    The straight two-lane stretch invites a genuine lane change; the
+    S-shaped section produces the confusable steering signature. The whole
+    route is marked as a GPS dead zone *over the S-curve only*, so road
+    curvature leaks into the steering-rate profile there exactly as in the
+    paper's hard case.
+    """
+    tail = 260.0
+    specs = [
+        SectionSpec.from_degrees(lane_change_section_m, grade_deg, 2, 0.0, name="straight-2lane"),
+        *s_curve_specs(s_curve_length_m, sweep_deg, lanes=1, grade_deg=grade_deg),
+        SectionSpec.from_degrees(tail, -grade_deg, 1, 0.0, name="tail"),
+    ]
+    outage = [(lane_change_section_m - 30.0, lane_change_section_m + s_curve_length_m + 30.0)]
+    return build_profile(
+        specs,
+        spacing=spacing,
+        smooth_m=20.0,
+        start_elevation=_CHARLOTTESVILLE.alt,
+        name="s-curve-route",
+        gps_outages=outage,
+        frame=LocalFrame(_CHARLOTTESVILLE),
+    )

@@ -1,0 +1,29 @@
+"""Application layer: VSP fuel model, pollution factors, traffic maps."""
+
+from .fuel import (
+    RoadFuelSummary,
+    gradient_fuel_uplift,
+    network_fuel_map,
+    profile_fuel_rate,
+    route_fuel_gallons,
+)
+from .pollution import CO2, PM25, EmissionFactor, emission_grams
+from .traffic import RoadEmissionSummary, hourly_flow_from_aadt, network_emission_map
+from .vsp import FuelModel, fuel_rate_gph
+
+__all__ = [
+    "RoadFuelSummary",
+    "gradient_fuel_uplift",
+    "network_fuel_map",
+    "profile_fuel_rate",
+    "route_fuel_gallons",
+    "CO2",
+    "PM25",
+    "EmissionFactor",
+    "emission_grams",
+    "RoadEmissionSummary",
+    "hourly_flow_from_aadt",
+    "network_emission_map",
+    "FuelModel",
+    "fuel_rate_gph",
+]

@@ -1,0 +1,139 @@
+"""Route- and road-level fuel estimation from gradient profiles (Fig 10a).
+
+The paper's application integrates estimated road gradients into the VSP
+model to map per-road fuel consumption at the city's average driving speed
+(40 km/h). These helpers evaluate Eq 7 along gradient profiles, compare
+with/without-gradient estimates (the +33.4 % headline), and aggregate per
+road edge for map rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.track import GradientTrack
+from ..errors import ConfigurationError
+from ..roads.network import RoadNetwork
+from ..roads.profile import RoadProfile
+from .vsp import FuelModel
+
+__all__ = [
+    "profile_fuel_rate",
+    "route_fuel_gallons",
+    "gradient_fuel_uplift",
+    "RoadFuelSummary",
+    "network_fuel_map",
+]
+
+
+def profile_fuel_rate(
+    theta: np.ndarray,
+    speed: float,
+    model: FuelModel | None = None,
+    both_directions: bool = True,
+) -> np.ndarray:
+    """Steady-speed fuel rate [gal/h] along a gradient profile.
+
+    With ``both_directions`` the rate is averaged over the two travel
+    directions (theta and -theta) — what a road-level map should show,
+    and where the idle-floor asymmetry shows up.
+    """
+    model = model or FuelModel()
+    theta = np.asarray(theta, dtype=float)
+    fwd = model.rate_gph(speed, theta, 0.0)
+    if not both_directions:
+        return np.asarray(fwd, dtype=float)
+    bwd = model.rate_gph(speed, -theta, 0.0)
+    return 0.5 * (np.asarray(fwd) + np.asarray(bwd))
+
+
+def route_fuel_gallons(
+    theta: np.ndarray,
+    s: np.ndarray,
+    speed: float,
+    model: FuelModel | None = None,
+) -> float:
+    """Fuel burned driving a route at constant speed [gallons].
+
+    ``theta`` sampled at positions ``s``; time per step is ``ds / speed``.
+    """
+    model = model or FuelModel()
+    theta = np.asarray(theta, dtype=float)
+    s = np.asarray(s, dtype=float)
+    if theta.shape != s.shape or len(s) < 2:
+        raise ConfigurationError("route fuel needs matching theta/s arrays")
+    if speed <= 0.0:
+        raise ConfigurationError("speed must be positive")
+    rates = model.rate_gph(speed, theta, 0.0)
+    hours = np.diff(s) / speed / 3600.0
+    mid = 0.5 * (rates[1:] + rates[:-1])
+    return float(np.sum(mid * hours))
+
+
+def gradient_fuel_uplift(
+    theta: np.ndarray,
+    s: np.ndarray,
+    speed: float,
+    model: FuelModel | None = None,
+) -> tuple[float, float, float]:
+    """(with-gradient, flat, relative uplift) fuel for one route.
+
+    The relative uplift ``with/flat - 1`` is the paper's headline quantity:
+    estimation values "increase by 33.4 % compared with the values without
+    considering road gradient".
+    """
+    with_grad = route_fuel_gallons(theta, s, speed, model)
+    flat = route_fuel_gallons(np.zeros_like(np.asarray(theta, dtype=float)), s, speed, model)
+    if flat <= 0.0:
+        raise ConfigurationError("flat-route fuel must be positive")
+    return with_grad, flat, with_grad / flat - 1.0
+
+
+@dataclass(frozen=True)
+class RoadFuelSummary:
+    """Per-road fuel figures for the city map."""
+
+    edge_key: tuple
+    road_class: str
+    length: float
+    mean_abs_grade: float
+    fuel_rate_gph: float
+    aadt: float
+
+
+def network_fuel_map(
+    network: RoadNetwork,
+    speed: float,
+    model: FuelModel | None = None,
+    gradient_lookup=None,
+) -> list[RoadFuelSummary]:
+    """Average fuel rate per road edge at a common driving speed.
+
+    ``gradient_lookup(edge) -> theta array`` lets callers substitute
+    *estimated* gradients (the paper's use case); by default the true
+    profile gradient is used.
+    """
+    model = model or FuelModel()
+    if speed <= 0.0:
+        raise ConfigurationError("speed must be positive")
+    out: list[RoadFuelSummary] = []
+    for edge in network.edges():
+        theta = (
+            np.asarray(gradient_lookup(edge), dtype=float)
+            if gradient_lookup is not None
+            else edge.profile.grade
+        )
+        rate = float(np.mean(profile_fuel_rate(theta, speed, model)))
+        out.append(
+            RoadFuelSummary(
+                edge_key=(edge.u, edge.v),
+                road_class=edge.road_class,
+                length=edge.length,
+                mean_abs_grade=float(np.mean(np.abs(theta))),
+                fuel_rate_gph=rate,
+                aadt=edge.aadt,
+            )
+        )
+    return out

@@ -1,0 +1,49 @@
+"""Air-pollution emission from fuel volume (paper Sec III-E).
+
+Vehicle emissions are proportional to fuel burned:
+``m_emission = F * V_fuel`` with F = 8,908 g/gal for CO2 and 0.084 g/gal
+for PM2.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import CO2_G_PER_GALLON, PM25_G_PER_GALLON
+from ..errors import ConfigurationError
+
+__all__ = ["EmissionFactor", "CO2", "PM25", "emission_grams"]
+
+
+@dataclass(frozen=True)
+class EmissionFactor:
+    """One pollutant's fuel-proportionality coefficient F [g/gallon]."""
+
+    name: str
+    grams_per_gallon: float
+
+    def __post_init__(self) -> None:
+        if self.grams_per_gallon <= 0.0:
+            raise ConfigurationError("emission factor must be positive")
+
+    def grams(self, fuel_gallons: float | np.ndarray):
+        """Emission mass [g] for a fuel volume [gallons]."""
+        return self.grams_per_gallon * np.asarray(fuel_gallons, dtype=float)
+
+    def rate_g_per_hour(self, fuel_rate_gph: float | np.ndarray):
+        """Emission rate [g/h] for a fuel rate [gal/h]."""
+        return self.grams_per_gallon * np.asarray(fuel_rate_gph, dtype=float)
+
+
+#: Carbon dioxide: 8,908 g per gallon of gasoline.
+CO2 = EmissionFactor("CO2", CO2_G_PER_GALLON)
+
+#: Fine particulate matter: 0.084 g per gallon.
+PM25 = EmissionFactor("PM2.5", PM25_G_PER_GALLON)
+
+
+def emission_grams(fuel_gallons: float | np.ndarray, factor: EmissionFactor = CO2):
+    """``m_emission = F * V_fuel`` for the given pollutant."""
+    return factor.grams(fuel_gallons)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the gradient-estimation library.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so callers
+can catch the whole family with a single handler while still distinguishing
+configuration problems from runtime estimation failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "RouteError",
+    "SensorError",
+    "AlignmentError",
+    "EstimationError",
+    "FusionError",
+    "TrainingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object or builder was configured inconsistently."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate polyline, bad coordinates...)."""
+
+
+class RouteError(ReproError):
+    """A route could not be built or resolved on the road network."""
+
+
+class SensorError(ReproError):
+    """A sensor model was asked to sample an invalid trace or timebase."""
+
+
+class AlignmentError(SensorError):
+    """The smartphone coordinate alignment could not be established."""
+
+
+class EstimationError(ReproError):
+    """A gradient estimator failed (divergence, empty input, shape mismatch)."""
+
+
+class FusionError(EstimationError):
+    """Track fusion received incompatible or empty tracks."""
+
+
+class TrainingError(ReproError):
+    """The ANN baseline failed to train (bad shapes, no samples...)."""

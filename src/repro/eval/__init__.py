@@ -1,0 +1,43 @@
+"""Evaluation harness: metrics, tables, experiment runners."""
+
+from .metrics import (
+    DetectionScore,
+    absolute_errors,
+    cdf_value_at,
+    error_cdf,
+    mean_absolute_error,
+    mean_relative_error,
+    score_lane_change_detection,
+)
+from .runner import (
+    FUSION_SUBSETS,
+    ComparisonResult,
+    MethodEstimate,
+    RunnerConfig,
+    collect_recordings,
+    evaluate_fusion_counts,
+    evaluate_methods,
+    make_system,
+)
+from .tables import format_value, render_series, render_table
+
+__all__ = [
+    "DetectionScore",
+    "absolute_errors",
+    "cdf_value_at",
+    "error_cdf",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "score_lane_change_detection",
+    "FUSION_SUBSETS",
+    "ComparisonResult",
+    "MethodEstimate",
+    "RunnerConfig",
+    "collect_recordings",
+    "evaluate_fusion_counts",
+    "evaluate_methods",
+    "make_system",
+    "format_value",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,326 @@
+"""Experiment runner: simulate -> sense -> estimate -> score.
+
+One entry point per experiment family:
+
+* :func:`evaluate_methods` — OPS vs the EKF [7] and ANN [8] baselines on a
+  route (Fig 8(a), Fig 9(b), the 22 % headline);
+* :func:`evaluate_fusion_counts` — error CDFs versus the number of fused
+  velocity-source tracks (Fig 8(b));
+* :func:`collect_recordings` / :func:`make_system` — shared plumbing for
+  ablation benches.
+
+Estimates are scored against the Sec III-D reference survey on a common
+position grid, with a configurable warm-up trim (the EKF needs a few
+seconds to converge from its flat-road prior, and the paper's plots start
+after the vehicle is rolling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..baselines.ann import ANNBaselineConfig, ANNGradientEstimator
+from ..baselines.barometer_direct import estimate_gradient_barometer
+from ..baselines.ekf_altitude import AltitudeEKFConfig, estimate_gradient_ekf_baseline
+from ..core.gradient_ekf import GradientEKFConfig
+from ..core.lane_change.detector import LaneChangeDetectorConfig
+from ..core.lane_change.features import LaneChangeThresholds
+from ..core.pipeline import (
+    EstimationResult,
+    GradientEstimationSystem,
+    GradientSystemConfig,
+    fuse_estimates,
+)
+from ..core.track import GradientTrack
+from ..datasets.steering_study import calibrated_thresholds
+from ..errors import ConfigurationError
+from ..roads.profile import RoadProfile
+from ..roads.reference import survey_reference_profile
+from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording, Smartphone
+from ..vehicle.driver import DriverProfile
+from ..vehicle.simulator import SimulationConfig, simulate_trip
+from ..vehicle.trip import TruthTrace
+from .metrics import (
+    DetectionScore,
+    absolute_errors,
+    cdf_value_at,
+    mean_absolute_error,
+    mean_relative_error,
+    score_lane_change_detection,
+)
+
+__all__ = [
+    "RunnerConfig",
+    "MethodEstimate",
+    "ComparisonResult",
+    "collect_recordings",
+    "make_system",
+    "evaluate_methods",
+    "evaluate_fusion_counts",
+]
+
+#: Fig 8(b) track subsets, in the paper's "1..4 fused tracks" order. The
+#: single-track case is the canonical GPS velocity (the paper's "no track
+#: fuse" curve); sources are added in the order the paper lists them.
+FUSION_SUBSETS: dict[int, tuple[str, ...]] = {
+    1: ("gps",),
+    2: ("gps", "speedometer"),
+    3: ("gps", "speedometer", "accelerometer"),
+    4: VELOCITY_SOURCES,
+}
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Shared experiment configuration."""
+
+    n_trips: int = 2
+    seed: int = 0
+    grid_spacing: float = 5.0
+    trim_m: float = 80.0
+    sample_rate: float = 50.0
+    noise_scale: float = 1.0
+    lane_changes_per_km: float = 3.0
+    baseline_stride: int = 2
+    thresholds: LaneChangeThresholds | None = None
+    reference_smooth_m: float = 15.0
+    process: str = "specific_force"
+    apply_lane_change_correction: bool = True
+    velocity_sources: tuple[str, ...] = VELOCITY_SOURCES
+    ann: ANNBaselineConfig = field(default_factory=ANNBaselineConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_trips < 1:
+            raise ConfigurationError("need at least one trip")
+        if self.grid_spacing <= 0.0 or self.trim_m < 0.0:
+            raise ConfigurationError("bad grid configuration")
+
+
+@dataclass
+class MethodEstimate:
+    """One method's gradient estimate and scores on the common grid."""
+
+    name: str
+    theta: np.ndarray
+    errors: np.ndarray  # absolute errors [rad]
+    mre: float
+    mean_error_deg: float
+    median_error_deg: float
+
+
+@dataclass
+class ComparisonResult:
+    """Everything a method-comparison experiment produced."""
+
+    profile: RoadProfile
+    s_grid: np.ndarray
+    truth: np.ndarray
+    methods: dict[str, MethodEstimate]
+    ops_results: list[EstimationResult]
+    detection: DetectionScore | None
+
+    def improvement_over(self, baseline: str, ours: str = "ops") -> float:
+        """Relative error reduction of ``ours`` vs a baseline (the paper's
+        "estimation error is reduced by 22 %")."""
+        base = self.methods[baseline]
+        mine = self.methods[ours]
+        if base.mre <= 0.0:
+            raise ConfigurationError("baseline MRE must be positive")
+        return 1.0 - mine.mre / base.mre
+
+
+def _driver_for_trip(cfg: RunnerConfig, i: int) -> DriverProfile:
+    base = DriverProfile(lane_changes_per_km=cfg.lane_changes_per_km)
+    rng = np.random.default_rng(cfg.seed * 7919 + i)
+    return replace(
+        base,
+        name=f"trip-driver-{i}",
+        cruise_speed=base.cruise_speed * float(rng.uniform(0.9, 1.1)),
+        lane_change_duration=float(rng.uniform(4.2, 6.2)),
+        lane_change_asymmetry=float(rng.uniform(0.8, 1.2)),
+    )
+
+
+def collect_recordings(
+    profile: RoadProfile, cfg: RunnerConfig
+) -> list[tuple[TruthTrace, PhoneRecording]]:
+    """Simulate the configured trips and record each with a fresh phone."""
+    phone = Smartphone().with_noise_scale(cfg.noise_scale)
+    sim_cfg = SimulationConfig(sample_rate=cfg.sample_rate)
+    out = []
+    for i in range(cfg.n_trips):
+        trace = simulate_trip(
+            profile,
+            driver=_driver_for_trip(cfg, i),
+            config=sim_cfg,
+            seed=cfg.seed * 104729 + i,
+        )
+        rec = phone.record(trace, np.random.default_rng(cfg.seed * 65537 + i))
+        out.append((trace, rec))
+    return out
+
+
+def make_system(
+    profile: RoadProfile,
+    cfg: RunnerConfig,
+    velocity_sources: tuple[str, ...] | None = None,
+) -> GradientEstimationSystem:
+    """An OPS instance configured per the runner settings."""
+    thresholds = cfg.thresholds or calibrated_thresholds()
+    sys_cfg = GradientSystemConfig(
+        ekf=GradientEKFConfig(process=cfg.process),
+        detector=LaneChangeDetectorConfig(thresholds=thresholds),
+        velocity_sources=velocity_sources or cfg.velocity_sources,
+        apply_lane_change_correction=cfg.apply_lane_change_correction,
+        fusion_grid_spacing=cfg.grid_spacing,
+    )
+    return GradientEstimationSystem(profile, config=sys_cfg)
+
+
+def _common_grid(profile: RoadProfile, cfg: RunnerConfig) -> np.ndarray:
+    lo = cfg.trim_m
+    hi = profile.length - cfg.trim_m
+    if hi - lo < cfg.grid_spacing * 4:
+        raise ConfigurationError("route too short for the configured trim")
+    n = int((hi - lo) / cfg.grid_spacing) + 1
+    return lo + np.arange(n) * cfg.grid_spacing
+
+
+def _score(name: str, theta: np.ndarray, truth: np.ndarray) -> MethodEstimate:
+    errors = absolute_errors(theta, truth)
+    return MethodEstimate(
+        name=name,
+        theta=theta,
+        errors=errors,
+        mre=mean_relative_error(theta, truth),
+        mean_error_deg=mean_absolute_error(theta, truth, degrees=True),
+        median_error_deg=float(np.degrees(cdf_value_at(errors, 0.5))),
+    )
+
+
+def _truth_events(trace: TruthTrace) -> list[tuple[float, float, int]]:
+    return [
+        (float(trace.t[a]), float(trace.t[b - 1]), d)
+        for a, b, d in trace.lane_change_intervals()
+    ]
+
+
+def evaluate_methods(
+    profile: RoadProfile,
+    methods: tuple[str, ...] = ("ops", "ekf", "ann"),
+    cfg: RunnerConfig | None = None,
+) -> ComparisonResult:
+    """Compare gradient-estimation methods on one route.
+
+    ``methods`` may contain ``"ops"``, ``"ekf"``, ``"ann"`` and
+    ``"barometer"``. The ANN baseline trains on a held-out trip over the
+    same route with reference-survey labels, mirroring the paper's
+    4,320-sample training set.
+    """
+    cfg = cfg or RunnerConfig()
+    reference = survey_reference_profile(profile).smoothed(cfg.reference_smooth_m)
+    s_grid = _common_grid(profile, cfg)
+    truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
+
+    recordings = collect_recordings(profile, cfg)
+    system = make_system(profile, cfg)
+
+    ann: ANNGradientEstimator | None = None
+    if "ann" in methods:
+        ann = ANNGradientEstimator(cfg.ann)
+        train_trace = simulate_trip(
+            profile,
+            driver=_driver_for_trip(cfg, 9999),
+            config=SimulationConfig(sample_rate=cfg.sample_rate),
+            seed=cfg.seed * 31337 + 1,
+        )
+        train_rec = Smartphone().with_noise_scale(cfg.noise_scale).record(
+            train_trace, np.random.default_rng(cfg.seed * 31337 + 2)
+        )
+        labels = np.asarray(reference.gradient_at(train_trace.s), dtype=float)
+        ann.fit_recording(train_rec, labels)
+
+    ops_results: list[EstimationResult] = []
+    per_method_thetas: dict[str, list[np.ndarray]] = {m: [] for m in methods}
+    detected_events: list[tuple[float, float, int]] = []
+    truth_events: list[tuple[float, float, int]] = []
+
+    for trace, rec in recordings:
+        result = system.estimate(rec)
+        ops_results.append(result)
+        truth_events.extend(_truth_events(trace))
+        detected_events.extend(
+            (e.t_start, e.t_end, e.direction) for e in result.events
+        )
+        aligned_s = result.aligned.s
+        if "ekf" in methods:
+            track = estimate_gradient_ekf_baseline(
+                rec, aligned_s, config=AltitudeEKFConfig(stride=cfg.baseline_stride)
+            )
+            theta, _ = track.resample(s_grid)
+            per_method_thetas["ekf"].append(theta)
+        if "ann" in methods and ann is not None:
+            track = ann.estimate_track(rec, aligned_s, stride=cfg.baseline_stride)
+            theta, _ = track.resample(s_grid)
+            per_method_thetas["ann"].append(theta)
+        if "barometer" in methods:
+            track = estimate_gradient_barometer(rec, aligned_s)
+            theta, _ = track.resample(s_grid)
+            per_method_thetas["barometer"].append(theta)
+
+    method_results: dict[str, MethodEstimate] = {}
+    if "ops" in methods:
+        fused = fuse_estimates(ops_results, s_grid) if len(ops_results) > 1 else None
+        theta = (
+            fused.theta
+            if fused is not None
+            else np.interp(s_grid, ops_results[0].fused.s, ops_results[0].fused.theta)
+        )
+        method_results["ops"] = _score("ops", theta, truth)
+    for name in ("ekf", "ann", "barometer"):
+        if name in methods:
+            theta = np.mean(np.stack(per_method_thetas[name]), axis=0)
+            method_results[name] = _score(name, theta, truth)
+
+    detection = score_lane_change_detection(detected_events, truth_events)
+    return ComparisonResult(
+        profile=profile,
+        s_grid=s_grid,
+        truth=truth,
+        methods=method_results,
+        ops_results=ops_results,
+        detection=detection,
+    )
+
+
+def evaluate_fusion_counts(
+    profile: RoadProfile,
+    cfg: RunnerConfig | None = None,
+    subsets: dict[int, tuple[str, ...]] | None = None,
+) -> dict[int, np.ndarray]:
+    """Fig 8(b): absolute-error samples per number of fused tracks.
+
+    Runs the identical recordings through OPS restricted to 1..4 velocity
+    sources; returns ``{n_tracks: errors [rad]}`` against the reference.
+    """
+    cfg = cfg or RunnerConfig()
+    subsets = subsets or FUSION_SUBSETS
+    reference = survey_reference_profile(profile).smoothed(cfg.reference_smooth_m)
+    s_grid = _common_grid(profile, cfg)
+    truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
+    recordings = collect_recordings(profile, cfg)
+
+    out: dict[int, np.ndarray] = {}
+    for n_tracks, sources in sorted(subsets.items()):
+        system = make_system(profile, cfg, velocity_sources=sources)
+        results = [system.estimate(rec) for _, rec in recordings]
+        fused = fuse_estimates(results, s_grid) if len(results) > 1 else None
+        theta = (
+            fused.theta
+            if fused is not None
+            else np.interp(s_grid, results[0].fused.s, results[0].fused.theta)
+        )
+        out[n_tracks] = absolute_errors(theta, truth)
+    return out

@@ -1,0 +1,63 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmark harness reproduces the paper's tables and figures as printed
+rows/series; these helpers keep the formatting consistent across benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Human formatting: floats to fixed precision, the rest via str()."""
+    if isinstance(value, (float, np.floating)):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """ASCII table with per-column width fitting."""
+    str_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    x_label: str = "x",
+    precision: int = 4,
+    max_rows: int = 40,
+    title: str | None = None,
+) -> str:
+    """A figure's data as a downsampled multi-column table."""
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    stride = max(1, int(np.ceil(n / max_rows)))
+    idx = np.arange(0, n, stride)
+    headers = [x_label, *series.keys()]
+    rows = [[x[i], *(np.asarray(s)[i] for s in series.values())] for i in idx]
+    return render_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,47 @@
+"""Road substrate: geometry, terrain, profiles, networks, reference survey."""
+
+from .builder import SectionSpec, build_profile, s_curve_specs
+from .elevation import ConstantSlopeField, ElevationField, FlatField
+from .export import dumps_geojson, network_to_geojson, profile_to_geojson
+from .generator import CityGeneratorConfig, generate_city_network
+from .geometry import (
+    GeoPoint,
+    LocalFrame,
+    Polyline,
+    east_angle,
+    haversine_m,
+    unwrap_angles,
+    wrap_angle,
+)
+from .network import RoadEdge, RoadNetwork, concatenate_profiles
+from .profile import RoadProfile, RoadSection
+from .reference import ReferenceProfile, ReferenceSurveyConfig, survey_reference_profile
+
+__all__ = [
+    "SectionSpec",
+    "build_profile",
+    "s_curve_specs",
+    "ConstantSlopeField",
+    "ElevationField",
+    "FlatField",
+    "dumps_geojson",
+    "network_to_geojson",
+    "profile_to_geojson",
+    "CityGeneratorConfig",
+    "generate_city_network",
+    "GeoPoint",
+    "LocalFrame",
+    "Polyline",
+    "east_angle",
+    "haversine_m",
+    "unwrap_angles",
+    "wrap_angle",
+    "RoadEdge",
+    "RoadNetwork",
+    "concatenate_profiles",
+    "RoadProfile",
+    "RoadSection",
+    "ReferenceProfile",
+    "ReferenceSurveyConfig",
+    "survey_reference_profile",
+]

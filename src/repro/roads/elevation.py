@@ -1,0 +1,110 @@
+"""Synthetic terrain: smooth random elevation fields.
+
+The paper's ground truth comes from surveying real Charlottesville roads.
+Offline we need terrain that (a) is smooth enough that road gradients are
+well defined, (b) has hills on the 100 m - 2 km wavelength range so that a
+2.16 km route crosses several up/downhill sections (Table III), and (c) is
+fully deterministic given a seed. A sum of random plane waves (a spectral /
+"value noise" field) satisfies all three and has analytic gradients, which
+the road builder uses to lay out profiles with exact slopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ElevationField", "ConstantSlopeField", "FlatField"]
+
+
+@dataclass
+class ElevationField:
+    """Smooth random elevation z(x, y) as a sum of sinusoidal plane waves.
+
+    Parameters
+    ----------
+    n_waves:
+        Number of random plane-wave components.
+    wavelength_range:
+        (min, max) spatial wavelength in metres. Hills in a small city span
+        roughly 200 m to 2 km.
+    amplitude:
+        Total RMS elevation amplitude in metres.
+    base_elevation:
+        Mean elevation in metres (Charlottesville sits near 180 m ASL).
+    seed:
+        RNG seed; two fields with equal parameters and seed are identical.
+    """
+
+    n_waves: int = 24
+    wavelength_range: tuple[float, float] = (500.0, 3200.0)
+    amplitude: float = 6.0
+    base_elevation: float = 180.0
+    seed: int = 7
+    _k: np.ndarray = field(init=False, repr=False)
+    _phase: np.ndarray = field(init=False, repr=False)
+    _amp: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_waves < 1:
+            raise ConfigurationError("ElevationField needs at least one wave")
+        lo, hi = self.wavelength_range
+        if not (0.0 < lo < hi):
+            raise ConfigurationError(f"bad wavelength range {self.wavelength_range!r}")
+        rng = np.random.default_rng(self.seed)
+        wavelengths = np.exp(rng.uniform(np.log(lo), np.log(hi), self.n_waves))
+        angles = rng.uniform(0.0, 2.0 * np.pi, self.n_waves)
+        k_mag = 2.0 * np.pi / wavelengths
+        self._k = np.stack([k_mag * np.cos(angles), k_mag * np.sin(angles)], axis=1)
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, self.n_waves)
+        raw = rng.uniform(0.5, 1.0, self.n_waves)
+        # Normalize so the field's RMS equals `amplitude` (sin RMS = 1/sqrt(2)).
+        self._amp = raw * self.amplitude / (np.sqrt(np.sum(raw**2) / 2.0))
+
+    def elevation(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Elevation z [m] at planar coordinates (x east, y north) [m]."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        phase = np.multiply.outer(x, self._k[:, 0]) + np.multiply.outer(y, self._k[:, 1])
+        z = np.sum(self._amp * np.sin(phase + self._phase), axis=-1)
+        return self.base_elevation + z
+
+    def gradient(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Analytic terrain gradient (dz/dx, dz/dy) at (x, y)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        phase = np.multiply.outer(x, self._k[:, 0]) + np.multiply.outer(y, self._k[:, 1])
+        common = self._amp * np.cos(phase + self._phase)
+        dzdx = np.sum(common * self._k[:, 0], axis=-1)
+        dzdy = np.sum(common * self._k[:, 1], axis=-1)
+        return dzdx, dzdy
+
+
+@dataclass(frozen=True)
+class ConstantSlopeField:
+    """A planar field with constant slope — handy for unit tests.
+
+    ``z = base + slope_x * x + slope_y * y``.
+    """
+
+    slope_x: float = 0.0
+    slope_y: float = 0.0
+    base_elevation: float = 0.0
+
+    def elevation(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        return self.base_elevation + self.slope_x * x + self.slope_y * y
+
+    def gradient(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        shape = np.broadcast(x, np.asarray(y, dtype=float)).shape
+        return np.full(shape, self.slope_x), np.full(shape, self.slope_y)
+
+
+def FlatField(base_elevation: float = 0.0) -> ConstantSlopeField:
+    """A perfectly flat terrain field (zero gradient everywhere)."""
+    return ConstantSlopeField(0.0, 0.0, base_elevation)

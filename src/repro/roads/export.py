@@ -1,0 +1,131 @@
+"""GeoJSON export of road profiles and gradient maps.
+
+The paper renders its results as colour-coded city maps (Fig 9(a),
+Fig 10). These helpers export profiles — with any per-position value series
+(estimated gradient, fuel rate, emission intensity) — as GeoJSON
+``LineString`` features that drop straight into kepler.gl / geojson.io /
+QGIS for the same visual.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..errors import RouteError
+from .geometry import GeoPoint, LocalFrame
+from .network import RoadNetwork
+from .profile import RoadProfile
+
+__all__ = ["profile_to_geojson", "network_to_geojson", "dumps_geojson"]
+
+_DEFAULT_ORIGIN = GeoPoint(38.0293, -78.4767, 180.0)
+
+
+def profile_to_geojson(
+    profile: RoadProfile,
+    values: dict[str, np.ndarray] | None = None,
+    spacing: float = 25.0,
+    segment_values: bool = True,
+) -> dict:
+    """One route as GeoJSON.
+
+    Parameters
+    ----------
+    values:
+        Optional ``{name: array}`` series sampled on ``profile.s`` (same
+        length as the profile grid) to attach as properties.
+    spacing:
+        Output vertex spacing [m].
+    segment_values:
+        True: emit one short ``LineString`` feature per segment with the
+        local property values (colour-codable maps, as in Fig 9(a));
+        False: emit one feature for the whole route with summary values.
+    """
+    frame = profile.frame or LocalFrame(_DEFAULT_ORIGIN)
+    n = max(2, int(np.ceil(profile.length / spacing)) + 1)
+    s = np.linspace(0.0, profile.length, n)
+    xy = profile.position_at(s)
+    lat, lon = frame.to_geo_array(xy[:, 0], xy[:, 1])
+    series = {}
+    for name, arr in (values or {}).items():
+        arr = np.asarray(arr, dtype=float)
+        if arr.shape != profile.s.shape:
+            raise RouteError(
+                f"value series {name!r} must be sampled on the profile grid"
+            )
+        series[name] = np.interp(s, profile.s, arr)
+    series.setdefault("grade_deg", np.degrees(np.interp(s, profile.s, profile.grade)))
+
+    if not segment_values:
+        properties = {"name": profile.name, "length_m": profile.length}
+        properties.update(
+            {name: float(np.mean(arr)) for name, arr in series.items()}
+        )
+        return {
+            "type": "FeatureCollection",
+            "features": [
+                {
+                    "type": "Feature",
+                    "properties": properties,
+                    "geometry": {
+                        "type": "LineString",
+                        "coordinates": [
+                            [round(float(lo), 6), round(float(la), 6)]
+                            for lo, la in zip(lon, lat)
+                        ],
+                    },
+                }
+            ],
+        }
+
+    features = []
+    for i in range(n - 1):
+        properties = {"name": profile.name, "s_m": float(s[i])}
+        properties.update(
+            {name: float(0.5 * (arr[i] + arr[i + 1])) for name, arr in series.items()}
+        )
+        features.append(
+            {
+                "type": "Feature",
+                "properties": properties,
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [
+                        [round(float(lon[i]), 6), round(float(lat[i]), 6)],
+                        [round(float(lon[i + 1]), 6), round(float(lat[i + 1]), 6)],
+                    ],
+                },
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def network_to_geojson(
+    network: RoadNetwork,
+    edge_values: dict | None = None,
+    spacing: float = 40.0,
+) -> dict:
+    """A whole road network as GeoJSON (one feature per road).
+
+    ``edge_values`` maps ``(u, v)`` edge keys to ``{name: scalar}``
+    properties (e.g. fuel rate, emission intensity from
+    :mod:`repro.emissions`).
+    """
+    features = []
+    for edge in network.edges():
+        fc = profile_to_geojson(edge.profile, spacing=spacing, segment_values=False)
+        feature = fc["features"][0]
+        feature["properties"]["road_class"] = edge.road_class
+        feature["properties"]["aadt"] = edge.aadt
+        feature["properties"]["edge"] = str((edge.u, edge.v))
+        extra = (edge_values or {}).get((edge.u, edge.v), {})
+        feature["properties"].update({k: float(v) for k, v in extra.items()})
+        features.append(feature)
+    return {"type": "FeatureCollection", "features": features}
+
+
+def dumps_geojson(collection: dict) -> str:
+    """Compact JSON text for a feature collection."""
+    return json.dumps(collection, separators=(",", ":"))

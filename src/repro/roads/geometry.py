@@ -1,0 +1,216 @@
+"""Geodesy primitives and arc-length parameterized polylines.
+
+Internally all road geometry lives in a local East-North-Up (ENU) tangent
+plane anchored at a reference latitude/longitude; conversions use the
+equirectangular approximation, which is accurate to centimetres over a city
+the size of the paper's Charlottesville study area. Headings follow the
+paper's convention (Sec III-A/III-D): the angle of a direction **relative to
+the Earth-East axis**, measured counter-clockwise, in radians.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import EARTH_RADIUS
+from ..errors import GeometryError
+
+__all__ = [
+    "GeoPoint",
+    "LocalFrame",
+    "haversine_m",
+    "east_angle",
+    "wrap_angle",
+    "unwrap_angles",
+    "Polyline",
+]
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A geographic point: latitude/longitude in degrees, altitude in metres."""
+
+    lat: float
+    lon: float
+    alt: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.lat <= 90.0):
+            raise GeometryError(f"latitude {self.lat!r} out of [-90, 90]")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise GeometryError(f"longitude {self.lon!r} out of [-180, 180]")
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in metres."""
+    phi1, phi2 = math.radians(a.lat), math.radians(b.lat)
+    dphi = phi2 - phi1
+    dlam = math.radians(b.lon - a.lon)
+    h = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS * math.asin(min(1.0, math.sqrt(h)))
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle to (-pi, pi]."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+def unwrap_angles(angles: np.ndarray) -> np.ndarray:
+    """Remove 2*pi jumps from a sampled angle sequence (vectorized)."""
+    return np.unwrap(np.asarray(angles, dtype=float))
+
+
+def east_angle(dx_east: float, dy_north: float) -> float:
+    """Angle of the direction (dx_east, dy_north) relative to Earth East.
+
+    This is the paper's road-direction convention: 0 points East, +pi/2
+    points North. Raises for a zero-length direction.
+    """
+    if dx_east == 0.0 and dy_north == 0.0:
+        raise GeometryError("cannot compute direction of a zero-length segment")
+    return math.atan2(dy_north, dx_east)
+
+
+class LocalFrame:
+    """Equirectangular local ENU frame anchored at a reference point.
+
+    ``to_enu`` maps (lat, lon) to metres East/North of the anchor;
+    ``to_geo`` is the inverse. Altitude passes through unchanged.
+    """
+
+    def __init__(self, origin: GeoPoint) -> None:
+        self.origin = origin
+        self._cos_lat = math.cos(math.radians(origin.lat))
+        if self._cos_lat <= 1e-9:
+            raise GeometryError("local frames at the poles are not supported")
+
+    def to_enu(self, point: GeoPoint) -> tuple[float, float, float]:
+        """Convert a geographic point to (east, north, up) metres."""
+        east = math.radians(point.lon - self.origin.lon) * EARTH_RADIUS * self._cos_lat
+        north = math.radians(point.lat - self.origin.lat) * EARTH_RADIUS
+        return east, north, point.alt - self.origin.alt
+
+    def to_geo(self, east: float, north: float, up: float = 0.0) -> GeoPoint:
+        """Convert local (east, north, up) metres back to a geographic point."""
+        lat = self.origin.lat + math.degrees(north / EARTH_RADIUS)
+        lon = self.origin.lon + math.degrees(east / (EARTH_RADIUS * self._cos_lat))
+        return GeoPoint(lat=lat, lon=lon, alt=self.origin.alt + up)
+
+    def to_enu_array(self, lats: np.ndarray, lons: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized latitude/longitude (degrees) -> (east, north) metres."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        east = np.radians(lons - self.origin.lon) * EARTH_RADIUS * self._cos_lat
+        north = np.radians(lats - self.origin.lat) * EARTH_RADIUS
+        return east, north
+
+    def to_geo_array(self, east: np.ndarray, north: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (east, north) metres -> (lat, lon) degrees."""
+        east = np.asarray(east, dtype=float)
+        north = np.asarray(north, dtype=float)
+        lat = self.origin.lat + np.degrees(north / EARTH_RADIUS)
+        lon = self.origin.lon + np.degrees(east / (EARTH_RADIUS * self._cos_lat))
+        return lat, lon
+
+
+class Polyline:
+    """A 2-D planar polyline parameterized by arc length.
+
+    The polyline supports interpolation of position, heading (relative to
+    East) and signed curvature at arbitrary arc lengths ``s`` in
+    ``[0, length]``. Headings between vertices are the chord directions;
+    curvature is estimated from the heading change rate, which is exact for
+    polylines that discretize smooth curves finely.
+    """
+
+    def __init__(self, xy: np.ndarray) -> None:
+        xy = np.asarray(xy, dtype=float)
+        if xy.ndim != 2 or xy.shape[1] != 2 or xy.shape[0] < 2:
+            raise GeometryError("polyline needs an (N, 2) array with N >= 2")
+        deltas = np.diff(xy, axis=0)
+        seg_len = np.hypot(deltas[:, 0], deltas[:, 1])
+        if np.any(seg_len <= 0.0):
+            raise GeometryError("polyline contains duplicate consecutive vertices")
+        self.xy = xy
+        self._seg_len = seg_len
+        self._cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+        self._headings = np.unwrap(np.arctan2(deltas[:, 1], deltas[:, 0]))
+
+    @property
+    def length(self) -> float:
+        """Total arc length in metres."""
+        return float(self._cum[-1])
+
+    def _clip(self, s: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(s, dtype=float), 0.0, self.length)
+
+    def _segment_index(self, s: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self._cum, s, side="right") - 1
+        return np.clip(idx, 0, len(self._seg_len) - 1)
+
+    def position(self, s: float | np.ndarray) -> np.ndarray:
+        """Interpolated (x, y) at arc length ``s``; shape (2,) or (N, 2)."""
+        scalar = np.isscalar(s)
+        s_arr = np.atleast_1d(self._clip(s))
+        idx = self._segment_index(s_arr)
+        frac = (s_arr - self._cum[idx]) / self._seg_len[idx]
+        out = self.xy[idx] + frac[:, None] * (self.xy[idx + 1] - self.xy[idx])
+        return out[0] if scalar else out
+
+    def heading(self, s: float | np.ndarray) -> float | np.ndarray:
+        """Direction relative to East at arc length ``s``.
+
+        Headings are linearly interpolated between the chord directions of
+        adjacent segments (continuous along the line), and come from an
+        unwrapped sequence, so differences are free of 2*pi jumps.
+        """
+        scalar = np.isscalar(s)
+        s_arr = np.atleast_1d(self._clip(s))
+        # Heading "knots" sit at segment midpoints.
+        mid = 0.5 * (self._cum[:-1] + self._cum[1:])
+        out = np.interp(s_arr, mid, self._headings)
+        return float(out[0]) if scalar else out
+
+    def curvature(self, s: float | np.ndarray) -> float | np.ndarray:
+        """Signed curvature [1/m] = d(heading)/ds at arc length ``s``."""
+        scalar = np.isscalar(s)
+        s_arr = np.atleast_1d(self._clip(s))
+        if len(self._headings) < 2:
+            out = np.zeros_like(s_arr)
+            return float(out[0]) if scalar else out
+        mid = 0.5 * (self._cum[:-1] + self._cum[1:])
+        dh = np.diff(self._headings)
+        ds = np.diff(mid)
+        kappa_knots = dh / ds
+        knot_pos = 0.5 * (mid[:-1] + mid[1:])
+        if len(knot_pos) == 1:
+            out = np.full_like(s_arr, kappa_knots[0])
+        else:
+            out = np.interp(s_arr, knot_pos, kappa_knots)
+        return float(out[0]) if scalar else out
+
+    def project(self, point: np.ndarray) -> float:
+        """Arc length of the closest point on the polyline to ``point``."""
+        p = np.asarray(point, dtype=float)
+        a = self.xy[:-1]
+        d = self.xy[1:] - a
+        t = np.einsum("ij,ij->i", p - a, d) / np.einsum("ij,ij->i", d, d)
+        t = np.clip(t, 0.0, 1.0)
+        closest = a + t[:, None] * d
+        dist2 = np.sum((closest - p) ** 2, axis=1)
+        best = int(np.argmin(dist2))
+        return float(self._cum[best] + t[best] * self._seg_len[best])
+
+    def resample(self, spacing: float) -> "Polyline":
+        """Return a new polyline with vertices every ``spacing`` metres."""
+        if spacing <= 0.0:
+            raise GeometryError("resample spacing must be positive")
+        n = max(2, int(math.ceil(self.length / spacing)) + 1)
+        s = np.linspace(0.0, self.length, n)
+        return Polyline(self.position(s))

@@ -1,0 +1,275 @@
+"""Road profiles: everything the simulator and estimators need about a road.
+
+A :class:`RoadProfile` maps arc length ``s`` (metres from the route start) to
+planar position, elevation, road gradient, heading (relative to East) and
+curvature, plus per-position lane counts and GPS availability. Profiles are
+stored as dense samples on a uniform grid and interpolated linearly, which
+keeps every query vectorized and fast.
+
+Conventions (matching the paper):
+
+* gradient ``theta`` is in radians; positive = uphill (Sec IV-A1);
+* heading follows the East-angle convention of Sec III-A;
+* ``w_road``, the road-direction change rate seen by a vehicle moving at
+  speed ``v``, is ``curvature(s) * v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GeometryError, RouteError
+from .geometry import GeoPoint, LocalFrame, Polyline
+
+__all__ = ["RoadSection", "RoadProfile"]
+
+
+@dataclass(frozen=True)
+class RoadSection:
+    """A contiguous stretch of road with homogeneous description.
+
+    Used to express Table III: grade sign and lane count per section of the
+    paper's red route.
+    """
+
+    name: str
+    s_start: float
+    s_end: float
+    lanes: int
+    mean_grade: float
+
+    @property
+    def length(self) -> float:
+        """Section length in metres."""
+        return self.s_end - self.s_start
+
+    @property
+    def grade_sign(self) -> str:
+        """``"+"`` for uphill sections, ``"-"`` for downhill (Table III)."""
+        return "+" if self.mean_grade >= 0.0 else "-"
+
+
+class RoadProfile:
+    """Dense, uniformly sampled description of one route.
+
+    Parameters
+    ----------
+    s:
+        Monotonic arc-length grid [m], starting at 0.
+    xy:
+        (N, 2) planar positions [m] in the local ENU frame.
+    z:
+        Elevations [m].
+    grade:
+        Road gradient [rad] at each grid point.
+    heading:
+        Road direction relative to East [rad], unwrapped.
+    curvature:
+        Signed curvature [1/m].
+    lanes:
+        Integer lane count at each grid point (same travel direction).
+    name:
+        Human-readable route name.
+    sections:
+        Optional section metadata (Table III style).
+    gps_outages:
+        List of (s_start, s_end) intervals where GPS is unavailable.
+    frame:
+        Optional geographic anchor so positions can be exported as lat/lon.
+    """
+
+    def __init__(
+        self,
+        s: np.ndarray,
+        xy: np.ndarray,
+        z: np.ndarray,
+        grade: np.ndarray,
+        heading: np.ndarray,
+        curvature: np.ndarray,
+        lanes: np.ndarray | None = None,
+        name: str = "route",
+        sections: list[RoadSection] | None = None,
+        gps_outages: list[tuple[float, float]] | None = None,
+        frame: LocalFrame | None = None,
+    ) -> None:
+        s = np.asarray(s, dtype=float)
+        if s.ndim != 1 or len(s) < 2:
+            raise GeometryError("profile grid needs at least two samples")
+        if np.any(np.diff(s) <= 0.0):
+            raise GeometryError("profile grid must be strictly increasing")
+        n = len(s)
+        xy = np.asarray(xy, dtype=float)
+        if xy.shape != (n, 2):
+            raise GeometryError(f"xy must have shape ({n}, 2), got {xy.shape}")
+        self.s = s
+        self.xy = xy
+        self.z = self._check("z", z, n)
+        self.grade = self._check("grade", grade, n)
+        self.heading = self._check("heading", heading, n)
+        self.curvature = self._check("curvature", curvature, n)
+        if lanes is None:
+            lanes = np.ones(n, dtype=int)
+        self.lanes = np.asarray(lanes, dtype=int)
+        if self.lanes.shape != (n,):
+            raise GeometryError("lanes must match the grid length")
+        self.name = name
+        self.sections = list(sections or [])
+        self.gps_outages = [(float(a), float(b)) for a, b in (gps_outages or [])]
+        for a, b in self.gps_outages:
+            if not (0.0 <= a < b):
+                raise GeometryError(f"bad GPS outage interval ({a}, {b})")
+        self.frame = frame
+
+    @staticmethod
+    def _check(label: str, arr: np.ndarray, n: int) -> np.ndarray:
+        arr = np.asarray(arr, dtype=float)
+        if arr.shape != (n,):
+            raise GeometryError(f"{label} must have shape ({n},), got {arr.shape}")
+        return arr
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_polyline(
+        cls,
+        polyline: Polyline,
+        terrain,
+        spacing: float = 1.0,
+        lanes: int | np.ndarray = 1,
+        name: str = "route",
+        gps_outages: list[tuple[float, float]] | None = None,
+        frame: LocalFrame | None = None,
+    ) -> "RoadProfile":
+        """Drape a planar polyline over a terrain field.
+
+        ``terrain`` must expose ``elevation(x, y)`` and ``gradient(x, y)``
+        (see :mod:`repro.roads.elevation`). The road gradient at each point
+        is the terrain slope projected onto the road heading:
+        ``tan(theta) = dz/dx * cos(psi) + dz/dy * sin(psi)``.
+        """
+        n = max(2, int(np.ceil(polyline.length / spacing)) + 1)
+        s = np.linspace(0.0, polyline.length, n)
+        xy = polyline.position(s)
+        heading = np.asarray(polyline.heading(s), dtype=float)
+        curvature = np.asarray(polyline.curvature(s), dtype=float)
+        z = terrain.elevation(xy[:, 0], xy[:, 1])
+        dzdx, dzdy = terrain.gradient(xy[:, 0], xy[:, 1])
+        slope = dzdx * np.cos(heading) + dzdy * np.sin(heading)
+        grade = np.arctan(slope)
+        if np.isscalar(lanes):
+            lanes_arr = np.full(n, int(lanes), dtype=int)
+        else:
+            lanes_arr = np.asarray(lanes, dtype=int)
+        return cls(
+            s=s, xy=xy, z=np.asarray(z, dtype=float), grade=grade, heading=heading,
+            curvature=curvature, lanes=lanes_arr, name=name,
+            gps_outages=gps_outages, frame=frame,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def length(self) -> float:
+        """Route length in metres."""
+        return float(self.s[-1])
+
+    def _interp(self, table: np.ndarray, s: float | np.ndarray):
+        scalar = np.isscalar(s)
+        s_arr = np.clip(np.atleast_1d(np.asarray(s, dtype=float)), 0.0, self.length)
+        out = np.interp(s_arr, self.s, table)
+        return float(out[0]) if scalar else out
+
+    def grade_at(self, s: float | np.ndarray):
+        """Road gradient [rad] at arc length ``s``."""
+        return self._interp(self.grade, s)
+
+    def elevation_at(self, s: float | np.ndarray):
+        """Elevation [m] at arc length ``s``."""
+        return self._interp(self.z, s)
+
+    def heading_at(self, s: float | np.ndarray):
+        """Road direction relative to East [rad] at arc length ``s``."""
+        return self._interp(self.heading, s)
+
+    def curvature_at(self, s: float | np.ndarray):
+        """Signed curvature [1/m] at arc length ``s``."""
+        return self._interp(self.curvature, s)
+
+    def position_at(self, s: float | np.ndarray) -> np.ndarray:
+        """Planar (east, north) position [m] at arc length ``s``."""
+        scalar = np.isscalar(s)
+        s_arr = np.clip(np.atleast_1d(np.asarray(s, dtype=float)), 0.0, self.length)
+        x = np.interp(s_arr, self.s, self.xy[:, 0])
+        y = np.interp(s_arr, self.s, self.xy[:, 1])
+        out = np.stack([x, y], axis=-1)
+        return out[0] if scalar else out
+
+    def lane_count_at(self, s: float | np.ndarray):
+        """Lane count at arc length ``s`` (nearest-sample lookup)."""
+        scalar = np.isscalar(s)
+        s_arr = np.clip(np.atleast_1d(np.asarray(s, dtype=float)), 0.0, self.length)
+        idx = np.clip(np.searchsorted(self.s, s_arr, side="right") - 1, 0, len(self.s) - 1)
+        out = self.lanes[idx]
+        return int(out[0]) if scalar else out
+
+    def gps_available_at(self, s: float | np.ndarray):
+        """True where GPS service exists (outside every outage interval)."""
+        scalar = np.isscalar(s)
+        s_arr = np.atleast_1d(np.asarray(s, dtype=float))
+        ok = np.ones(s_arr.shape, dtype=bool)
+        for a, b in self.gps_outages:
+            ok &= ~((s_arr >= a) & (s_arr <= b))
+        return bool(ok[0]) if scalar else ok
+
+    def road_turn_rate(self, s: float | np.ndarray, v: float | np.ndarray):
+        """``w_road`` [rad/s] for a vehicle at arc length ``s`` moving at ``v``."""
+        return self.curvature_at(s) * np.asarray(v, dtype=float)
+
+    def geo_at(self, s: float) -> GeoPoint:
+        """Geographic point at arc length ``s`` (requires a frame)."""
+        if self.frame is None:
+            raise RouteError(f"profile {self.name!r} has no geographic frame")
+        x, y = self.position_at(float(s))
+        return self.frame.to_geo(float(x), float(y), float(self.elevation_at(s)) - self.frame.origin.alt)
+
+    def section_at(self, s: float) -> RoadSection | None:
+        """The section containing ``s``, or None if sections are undefined."""
+        for section in self.sections:
+            if section.s_start <= s <= section.s_end:
+                return section
+        return None
+
+    def subprofile(self, s_start: float, s_end: float, name: str | None = None) -> "RoadProfile":
+        """Extract the stretch ``[s_start, s_end]`` as a standalone profile."""
+        if not (0.0 <= s_start < s_end <= self.length + 1e-9):
+            raise RouteError(f"bad subprofile range [{s_start}, {s_end}] of {self.length}")
+        mask = (self.s >= s_start) & (self.s <= s_end)
+        idx = np.flatnonzero(mask)
+        if len(idx) < 2:
+            raise RouteError("subprofile range covers fewer than two grid samples")
+        sel = slice(idx[0], idx[-1] + 1)
+        outages = [
+            (max(a, s_start) - s_start, min(b, s_end) - s_start)
+            for a, b in self.gps_outages
+            if b > s_start and a < s_end
+        ]
+        return RoadProfile(
+            s=self.s[sel] - self.s[idx[0]],
+            xy=self.xy[sel],
+            z=self.z[sel],
+            grade=self.grade[sel],
+            heading=self.heading[sel],
+            curvature=self.curvature[sel],
+            lanes=self.lanes[sel],
+            name=name or f"{self.name}[{s_start:.0f}:{s_end:.0f}]",
+            gps_outages=outages,
+            frame=self.frame,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoadProfile(name={self.name!r}, length={self.length:.1f} m, "
+            f"samples={len(self.s)}, sections={len(self.sections)})"
+        )

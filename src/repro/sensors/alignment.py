@@ -1,0 +1,289 @@
+"""Smartphone coordinate alignment system (paper Sec III-A).
+
+Aligning the phone frame ``X_B Y_B Z_B`` with the road frame
+``X_E Y_E Z_E`` lets the gyroscope Z channel be read as the vehicle
+direction change rate ``w_vehicle``. The steering rate then follows from
+
+    w_steer = w_vehicle - w_road
+
+where the road direction change rate ``w_road`` is derived from road
+geography (map-matched GPS positions against the known road geometry) —
+exactly the construction of Fig 2. Where GPS service is missing, ``w_road``
+is unknown and treated as zero; road curvature then leaks into the steering
+rate, which is why the lane-change detector needs its S-curve
+discrimination rule (Sec III-B2).
+
+The phone may additionally sit slightly rotated in its mount. Following the
+paper (which cites [14] for removing relative-movement effects) the
+alignment estimates a constant yaw mounting offset by comparing the
+gyro-integrated heading with the GPS track heading, and removes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AlignmentError
+from ..roads.profile import RoadProfile
+from .base import SampledSignal
+from .gps import GPSFixes
+
+__all__ = ["AlignedSteering", "CoordinateAlignment", "map_match", "estimate_mounting_yaw"]
+
+
+@dataclass
+class AlignedSteering:
+    """Output of the alignment: everything downstream of Fig 2.
+
+    Attributes
+    ----------
+    t:
+        Phone timebase [s].
+    w_vehicle:
+        Measured vehicle direction change rate [rad/s] (gyro Z).
+    w_road:
+        Road direction change rate [rad/s] from map geography (0 where
+        unknown).
+    w_steer:
+        ``w_vehicle - w_road`` [rad/s].
+    s:
+        Estimated arc length along the route [m] (map-matched; dead-reckoned
+        through GPS outages).
+    v:
+        Speed used for the road-rate computation [m/s].
+    road_rate_known:
+        False where GPS was unavailable and ``w_road`` fell back to zero.
+    yaw_offset:
+        Estimated phone mounting yaw offset [rad].
+    """
+
+    t: np.ndarray
+    w_vehicle: np.ndarray
+    w_road: np.ndarray
+    w_steer: np.ndarray
+    s: np.ndarray
+    v: np.ndarray
+    road_rate_known: np.ndarray
+    yaw_offset: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    def steering_signal(self) -> SampledSignal:
+        """The steering-rate profile as a standard signal."""
+        return SampledSignal(t=self.t, values=self.w_steer, name="steering-rate", unit="rad/s")
+
+
+def map_match(
+    profile: RoadProfile,
+    x: np.ndarray,
+    y: np.ndarray,
+    window_m: float = 120.0,
+    expected_step: np.ndarray | None = None,
+    max_distance_m: float = 35.0,
+) -> np.ndarray:
+    """Match planar positions to arc lengths along the profile.
+
+    Uses a forward-moving local search: each fix is matched within a window
+    around the predicted position, which is O(window) per fix instead of
+    O(route length) and cannot jump backwards across the route on noisy
+    fixes. NaN positions yield NaN matches.
+
+    Parameters
+    ----------
+    expected_step:
+        Optional predicted arc-length advance [m] between consecutive
+        fixes (e.g. the integral of the measured speed). When supplied the
+        search window is *centred on the prediction*, which keeps the
+        matcher locked on routes that revisit or double back on the same
+        streets — without it, the mirror branch of an out-and-back road can
+        alias the match.
+    max_distance_m:
+        Matches farther than this from the route are rejected (left NaN);
+        the caller's dead reckoning bridges them.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise AlignmentError("map_match expects equal-length 1-D x/y arrays")
+    if expected_step is not None:
+        expected_step = np.asarray(expected_step, dtype=float)
+        if expected_step.shape != x.shape:
+            raise AlignmentError("expected_step must match the fix count")
+    grid_x = profile.xy[:, 0]
+    grid_y = profile.xy[:, 1]
+    s_grid = profile.s
+    max_d2 = max_distance_m**2
+    pos_sigma2 = (max_distance_m / 3.0) ** 2
+
+    out = np.full(len(x), np.nan)
+    s_anchor: float | None = None  # arc length of the last accepted match
+    pending = 0.0  # predicted advance [m] accumulated since the last match
+    for i in range(len(x)):
+        if expected_step is not None:
+            pending += float(expected_step[i])
+        else:
+            pending += window_m / 4.0  # conservative forward prior
+        if not (np.isfinite(x[i]) and np.isfinite(y[i])):
+            continue
+        d2 = (grid_x - x[i]) ** 2 + (grid_y - y[i]) ** 2
+        near = d2 <= max_d2
+        if not np.any(near):
+            continue
+        if s_anchor is None:
+            # No anchor yet: take the geometrically closest point.
+            idx = int(np.argmin(d2))
+        else:
+            # Disambiguate revisited streets: combine geometric distance
+            # with deviation from the speed-predicted arc length. The
+            # prediction uncertainty grows with distance dead-reckoned.
+            s_pred = s_anchor + pending
+            s_sigma2 = (12.0 + 0.05 * abs(pending)) ** 2
+            cand = np.flatnonzero(near)
+            cost = d2[cand] / pos_sigma2 + (s_grid[cand] - s_pred) ** 2 / s_sigma2
+            idx = int(cand[np.argmin(cost)])
+        s_anchor = float(s_grid[idx])
+        pending = 0.0
+        out[i] = s_anchor
+    return out
+
+
+class CoordinateAlignment:
+    """Builds the aligned steering-rate profile for one recording."""
+
+    def __init__(self, profile: RoadProfile) -> None:
+        self.profile = profile
+
+    def align(
+        self,
+        gyro: SampledSignal,
+        speed: SampledSignal,
+        gps: GPSFixes,
+        yaw_offset_truth: float = 0.0,
+    ) -> AlignedSteering:
+        """Compute ``w_steer = w_vehicle - w_road`` on the gyro timebase.
+
+        Parameters
+        ----------
+        gyro:
+            Gyroscope Z signal (vehicle direction change rate).
+        speed:
+            A speed signal (any source) used both for the road-rate lookup
+            and for dead reckoning through outages.
+        gps:
+            GPS fixes for map matching.
+        yaw_offset_truth:
+            The simulated mounting offset, if any; the estimator sees only
+            its effect on the signals, this parameter simply lets callers
+            report estimation quality.
+        """
+        t = gyro.t
+        if len(t) < 2:
+            raise AlignmentError("alignment needs at least two gyro samples")
+        v = speed.interpolate_to(t)
+        v = np.where(np.isfinite(v), v, 0.0)
+
+        # Predicted advance between GPS epochs from the measured speed;
+        # keeps map matching locked on self-revisiting routes.
+        dt = np.diff(t, prepend=t[0])
+        travelled = np.cumsum(v * dt)
+        travelled_at_fix = np.interp(gps.t, t, travelled)
+        expected_step = np.diff(travelled_at_fix, prepend=travelled_at_fix[0])
+
+        s_fix = map_match(self.profile, gps.x, gps.y, expected_step=expected_step)
+        s = self._dead_reckon(t, v, gps.t, s_fix)
+
+        gps_ok_t = np.interp(t, gps.t, gps.available.astype(float)) > 0.5
+        known = gps_ok_t & np.isfinite(s)
+
+        curvature = self.profile.curvature_at(np.where(np.isfinite(s), s, 0.0))
+        w_road = np.where(known, curvature * v, 0.0)
+        w_steer = gyro.values - w_road
+
+        return AlignedSteering(
+            t=t,
+            w_vehicle=gyro.values,
+            w_road=w_road,
+            w_steer=w_steer,
+            s=s,
+            v=v,
+            road_rate_known=known,
+            yaw_offset=yaw_offset_truth,
+        )
+
+    @staticmethod
+    def _dead_reckon(
+        t: np.ndarray, v: np.ndarray, t_fix: np.ndarray, s_fix: np.ndarray
+    ) -> np.ndarray:
+        """Arc length on the phone timebase: matched where possible, integrated elsewhere.
+
+        Between (and beyond) GPS matches, s advances by the integral of the
+        speed signal; at each valid match the estimate snaps back to the
+        matched value, bounding dead-reckoning drift by the outage length.
+        """
+        dt = np.diff(t, prepend=t[0])
+        s_dr = np.cumsum(v * dt)
+        ok = np.isfinite(s_fix)
+        if not np.any(ok):
+            return s_dr  # pure dead reckoning from the route start
+        # Offset correction: piecewise-constant between fixes.
+        t_ok = t_fix[ok]
+        s_ok = s_fix[ok]
+        s_dr_at_fix = np.interp(t_ok, t, s_dr)
+        offset = s_ok - s_dr_at_fix
+        # Hold the most recent offset (previous fix) at each phone sample.
+        idx = np.searchsorted(t_ok, t, side="right") - 1
+        idx = np.clip(idx, 0, len(t_ok) - 1)
+        return s_dr + offset[idx]
+
+
+def estimate_mounting_yaw(
+    accel_long: SampledSignal,
+    accel_lat: SampledSignal,
+    speed: SampledSignal,
+    gyro: SampledSignal | None = None,
+    straight_threshold: float = 0.02,
+) -> float:
+    """Estimate a constant phone mounting yaw from the accelerometer channels.
+
+    A phone rotated by yaw ``phi`` in its mount measures
+    ``a_y = cos(phi) f_long + sin(phi) f_lat`` and
+    ``a_x = -sin(phi) f_long + cos(phi) f_lat``. A constant yaw is invisible
+    to the gyro Z axis, so — following the idea of the paper's reference
+    [14] — it is recovered from the accelerometers: the true longitudinal
+    channel correlates with the derivative of the (independent) speed
+    signal while the lateral channel does not, hence
+
+        cov(a_y, dv/dt) = cos(phi) * c,   cov(a_x, dv/dt) = -sin(phi) * c
+
+    and ``phi = atan2(-cov(a_x, ref), cov(a_y, ref))``. Cornering breaks the
+    "lateral channel is uncorrelated" assumption (drivers brake into turns),
+    so when a gyro signal is supplied only straight-driving samples
+    (|w| below ``straight_threshold`` rad/s) enter the covariances.
+    Returns the estimated yaw [rad].
+    """
+    t = accel_long.t
+    if len(t) < 10:
+        raise AlignmentError("yaw estimation needs a longer recording")
+    v = speed.interpolate_to(t)
+    v = np.where(np.isfinite(v), v, np.nan)
+    dvdt = np.gradient(np.nan_to_num(v, nan=0.0), t)
+    # Smooth the reference: finite-differenced speed is noisy.
+    kernel = np.ones(25) / 25.0
+    dvdt = np.convolve(dvdt, kernel, mode="same")
+    mask = np.ones(len(t), dtype=bool)
+    if gyro is not None:
+        smooth_w = np.convolve(gyro.values, kernel, mode="same")
+        mask = np.abs(smooth_w) < straight_threshold
+        if np.count_nonzero(mask) < 50:
+            mask = np.ones(len(t), dtype=bool)
+    ay = (accel_long.values - np.nanmean(accel_long.values[mask]))[mask]
+    ax = (accel_lat.values - np.nanmean(accel_lat.values[mask]))[mask]
+    ref = (dvdt - np.mean(dvdt[mask]))[mask]
+    c_y = float(np.dot(ay, ref))
+    c_x = float(np.dot(ax, ref))
+    if abs(c_y) < 1e-9 and abs(c_x) < 1e-9:
+        return 0.0
+    return float(np.arctan2(-c_x, c_y))

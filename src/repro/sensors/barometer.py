@@ -1,0 +1,36 @@
+"""Phone barometer: altitude with notoriously poor accuracy (Sec III-C1).
+
+The paper explicitly rejects the barometer as a gradient source because its
+error is "several meters" [19] and it drifts with weather; it remains in
+the system because the EKF baseline [7] and the naive baseline consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..vehicle.trip import TruthTrace
+from .base import SampledSignal
+from .noise import NoiseModel
+
+__all__ = ["Barometer"]
+
+#: Metre-level white noise plus weather/ventilation-driven drift. The drift
+#: term dominates over a trip: pressure changes from weather fronts, HVAC
+#: and window state move the inferred altitude by metres over minutes [19],
+#: which is exactly why differentiating the barometer makes a poor gradient
+#: sensor.
+_DEFAULT_NOISE = NoiseModel(white_std=2.0, bias_std=4.0, drift_std=0.6, quantization=0.1)
+
+
+@dataclass
+class Barometer:
+    """Barometric altitude channel at the full sampling rate."""
+
+    noise: NoiseModel = field(default_factory=lambda: _DEFAULT_NOISE)
+
+    def measure(self, trace: TruthTrace, rng: np.random.Generator) -> SampledSignal:
+        values = self.noise.apply(trace.z, trace.dt, rng)
+        return SampledSignal(t=trace.t, values=values, name="barometer", unit="m")

@@ -1,0 +1,76 @@
+"""Sensor basics: sampled signals and the sensor protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import SensorError
+from ..vehicle.trip import TruthTrace
+
+__all__ = ["SampledSignal", "Sensor"]
+
+
+@dataclass
+class SampledSignal:
+    """A time-stamped scalar signal produced by one sensor.
+
+    ``valid`` marks samples that carry information (GPS fixes exist only
+    where service is available); invalid samples hold NaN.
+    """
+
+    t: np.ndarray
+    values: np.ndarray
+    name: str = "signal"
+    unit: str = ""
+    valid: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.t = np.asarray(self.t, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.t.shape != self.values.shape or self.t.ndim != 1:
+            raise SensorError("signal timestamps and values must be equal-length 1-D arrays")
+        if self.valid is None:
+            self.valid = np.isfinite(self.values)
+        else:
+            self.valid = np.asarray(self.valid, dtype=bool)
+            if self.valid.shape != self.t.shape:
+                raise SensorError("valid mask must match the signal length")
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def rate(self) -> float:
+        """Mean sampling rate [Hz]."""
+        if len(self.t) < 2:
+            return 0.0
+        return float((len(self.t) - 1) / (self.t[-1] - self.t[0]))
+
+    def interpolate_to(self, t_new: np.ndarray) -> np.ndarray:
+        """Linear interpolation onto a new timebase using valid samples only.
+
+        Returns NaN outside the span of valid samples; raises if the signal
+        has no valid samples at all.
+        """
+        t_new = np.asarray(t_new, dtype=float)
+        mask = self.valid & np.isfinite(self.values)
+        if not np.any(mask):
+            raise SensorError(f"signal {self.name!r} has no valid samples")
+        t_ok = self.t[mask]
+        v_ok = self.values[mask]
+        out = np.interp(t_new, t_ok, v_ok)
+        out = np.where((t_new < t_ok[0]) | (t_new > t_ok[-1]), np.nan, out)
+        return out
+
+
+@runtime_checkable
+class Sensor(Protocol):
+    """Anything that converts a ground-truth trace into a measured signal."""
+
+    def measure(self, trace: TruthTrace, rng: np.random.Generator) -> SampledSignal:
+        """Sample the trace and return the corrupted signal."""
+        ...

@@ -1,0 +1,45 @@
+"""CAN-bus wheel speed, read over a Bluetooth OBD-II dongle (Sec I).
+
+Wheel-speed reports are precise but quantized and carry a small fixed scale
+error from tyre-radius miscalibration; frames arrive at a lower rate than
+the IMU and with a constant transport latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SensorError
+from ..vehicle.trip import TruthTrace
+from .base import SampledSignal
+from .noise import NoiseModel
+
+__all__ = ["CanBusSpeed"]
+
+_DEFAULT_NOISE = NoiseModel(white_std=0.04, scale_std=0.008, quantization=1.0 / 36.0)
+
+
+@dataclass
+class CanBusSpeed:
+    """Vehicle speed frames from the CAN bus."""
+
+    noise: NoiseModel = field(default_factory=lambda: _DEFAULT_NOISE)
+    rate: float = 10.0
+    latency: float = 0.08
+
+    def measure(self, trace: TruthTrace, rng: np.random.Generator) -> SampledSignal:
+        if self.rate <= 0.0:
+            raise SensorError("CAN frame rate must be positive")
+        stride = max(1, int(round(1.0 / (self.rate * trace.dt))))
+        idx = np.arange(0, len(trace), stride)
+        values = self.noise.apply(trace.v[idx], stride * trace.dt, rng)
+        np.maximum(values, 0.0, out=values)
+        return SampledSignal(
+            t=trace.t[idx] + self.latency,
+            values=values,
+            name="canbus",
+            unit="m/s",
+            meta={"latency": self.latency},
+        )

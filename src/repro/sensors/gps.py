@@ -1,0 +1,92 @@
+"""GPS receiver: 1 Hz position and Doppler speed with outage zones.
+
+GPS position in the phone updates once per second (Sec III-A); fixes vanish
+entirely inside outage intervals (tree canyons, underpasses), which is one
+of the road conditions the paper's robustness experiment covers
+("out of GPS service", Sec IV-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import GPS_SAMPLE_PERIOD_S
+from ..errors import SensorError
+from ..vehicle.trip import TruthTrace
+from .base import SampledSignal
+from .noise import NoiseModel
+
+__all__ = ["GPSFixes", "GPSReceiver"]
+
+_DEFAULT_POS_NOISE = NoiseModel(white_std=2.8, drift_std=0.15)
+_DEFAULT_SPEED_NOISE = NoiseModel(white_std=0.25, bias_std=0.03)
+
+
+@dataclass
+class GPSFixes:
+    """One trip's worth of GPS fixes (NaN where service is unavailable)."""
+
+    t: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    speed: np.ndarray
+    available: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.t)
+        for name in ("t", "x", "y", "speed"):
+            arr = np.asarray(getattr(self, name), dtype=float)
+            if arr.shape != (n,):
+                raise SensorError(f"GPS field {name!r} must have length {n}")
+            setattr(self, name, arr)
+        self.available = np.asarray(self.available, dtype=bool)
+        if self.available.shape != (n,):
+            raise SensorError("GPS availability mask must match fix count")
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of epochs with a fix."""
+        return float(np.mean(self.available)) if len(self) else 0.0
+
+    def speed_signal(self) -> SampledSignal:
+        """The Doppler speed channel as a standard signal."""
+        return SampledSignal(
+            t=self.t, values=self.speed, name="gps-speed", unit="m/s", valid=self.available
+        )
+
+
+@dataclass
+class GPSReceiver:
+    """Samples the truth trace at the GPS epoch rate."""
+
+    position_noise: NoiseModel = field(default_factory=lambda: _DEFAULT_POS_NOISE)
+    speed_noise: NoiseModel = field(default_factory=lambda: _DEFAULT_SPEED_NOISE)
+    period: float = GPS_SAMPLE_PERIOD_S
+
+    def measure_fixes(self, trace: TruthTrace, rng: np.random.Generator) -> GPSFixes:
+        """Produce the fix sequence for a trip."""
+        if self.period <= 0.0:
+            raise SensorError("GPS period must be positive")
+        stride = max(1, int(round(self.period / trace.dt)))
+        idx = np.arange(0, len(trace), stride)
+        t = trace.t[idx]
+        n = len(idx)
+        # Independent position error on each axis, correlated in time via
+        # the drift component of the noise model.
+        x = self.position_noise.apply(trace.x[idx], self.period, rng)
+        y = self.position_noise.apply(trace.y[idx], self.period, rng)
+        speed = self.speed_noise.apply(trace.v[idx], self.period, rng)
+        available = trace.gps_available[idx].copy()
+        x = np.where(available, x, np.nan)
+        y = np.where(available, y, np.nan)
+        speed = np.where(available, speed, np.nan)
+        return GPSFixes(t=t, x=x, y=y, speed=speed, available=available)
+
+    def measure(self, trace: TruthTrace, rng: np.random.Generator) -> SampledSignal:
+        """Sensor-protocol entry point: the speed channel."""
+        return self.measure_fixes(trace, rng).speed_signal()

@@ -1,0 +1,79 @@
+"""Inertial sensors: accelerometer and gyroscope (angular velocity sensor).
+
+In the smartphone coordinate alignment system (Sec III-A) the phone's Y_B
+axis points along the vehicle. The longitudinal accelerometer channel then
+reads the **specific force**
+
+    f_y = dv/dt + g sin(theta)
+
+— vehicle acceleration plus the gravity component pulled in by the road
+gradient. This gravity term is the physical signal the gradient EKF feeds
+on (see DESIGN.md). The gyroscope's Z_B channel reads the vehicle direction
+change rate ``w_vehicle``; its slowly wandering bias is the paper's "drift
+noise" that the EKF and track fusion must suppress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import GRAVITY
+from ..vehicle.trip import TruthTrace
+from .base import SampledSignal
+from .noise import NoiseModel
+
+__all__ = ["Accelerometer", "Gyroscope"]
+
+#: Consumer MEMS accelerometer in a moving car, after standstill bias
+#: calibration (m/s^2). The white-noise term is dominated by engine and
+#: road-surface vibration rather than the sensor itself.
+#: Phones re-zero the accelerometer whenever the vehicle stops, so the
+#: residual bias is small; the drift random walk models temperature drift
+#: between calibrations. Uncalibrated values (bias ~0.04+) make the grade
+#: error floor accel-dominated and common to all four velocity-source
+#: tracks — see the noise-sensitivity ablation.
+_DEFAULT_ACCEL_NOISE = NoiseModel(
+    white_std=0.18, bias_std=0.015, drift_std=0.0008, scale_std=0.004, quantization=0.0012
+)
+
+#: Typical consumer MEMS gyroscope errors (rad/s).
+_DEFAULT_GYRO_NOISE = NoiseModel(
+    white_std=0.004, bias_std=0.002, drift_std=2.5e-4, scale_std=0.003, quantization=1e-4
+)
+
+
+@dataclass
+class Accelerometer:
+    """Longitudinal specific-force channel of the phone accelerometer.
+
+    ``include_gravity=False`` turns it into an idealized dynamometer that
+    reads dv/dt directly — that is what the paper's literal Eq 5 assumes,
+    and the process-model ablation uses it.
+    """
+
+    noise: NoiseModel = field(default_factory=lambda: _DEFAULT_ACCEL_NOISE)
+    include_gravity: bool = True
+
+    def measure(self, trace: TruthTrace, rng: np.random.Generator) -> SampledSignal:
+        truth = trace.specific_force_longitudinal if self.include_gravity else trace.a
+        values = self.noise.apply(truth, trace.dt, rng)
+        return SampledSignal(
+            t=trace.t,
+            values=values,
+            name="accelerometer",
+            unit="m/s^2",
+            meta={"includes_gravity": self.include_gravity, "gravity": GRAVITY},
+        )
+
+
+@dataclass
+class Gyroscope:
+    """Z-axis angular velocity channel: the vehicle direction change rate."""
+
+    noise: NoiseModel = field(default_factory=lambda: _DEFAULT_GYRO_NOISE)
+
+    def measure(self, trace: TruthTrace, rng: np.random.Generator) -> SampledSignal:
+        values = self.noise.apply(trace.yaw_rate, trace.dt, rng)
+        return SampledSignal(t=trace.t, values=values, name="gyroscope", unit="rad/s")

@@ -1,0 +1,135 @@
+"""Persistence for phone recordings and truth traces (.npz archives).
+
+A research workflow records trips once and re-runs estimators many times;
+these helpers serialize :class:`~repro.sensors.phone.PhoneRecording` and
+:class:`~repro.vehicle.trip.TruthTrace` to compressed numpy archives and
+back, bit-exactly. Ground truth is stored (and restored) only when present.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SensorError
+from ..vehicle.trip import _ARRAY_FIELDS, TruthTrace
+from .base import SampledSignal
+from .gps import GPSFixes
+from .phone import PhoneRecording
+
+__all__ = [
+    "save_recording",
+    "load_recording",
+    "save_trace",
+    "load_trace",
+]
+
+_SIGNAL_CHANNELS = (
+    "accel_long",
+    "accel_lat",
+    "gyro",
+    "speedometer",
+    "barometer",
+    "canbus",
+)
+
+
+def _pack_signal(prefix: str, signal: SampledSignal, out: dict) -> None:
+    out[f"{prefix}.t"] = signal.t
+    out[f"{prefix}.values"] = signal.values
+    out[f"{prefix}.valid"] = signal.valid
+    out[f"{prefix}.name"] = np.array(signal.name)
+    out[f"{prefix}.unit"] = np.array(signal.unit)
+
+
+def _unpack_signal(prefix: str, data) -> SampledSignal:
+    return SampledSignal(
+        t=data[f"{prefix}.t"],
+        values=data[f"{prefix}.values"],
+        valid=data[f"{prefix}.valid"],
+        name=str(data[f"{prefix}.name"]),
+        unit=str(data[f"{prefix}.unit"]),
+    )
+
+
+def save_recording(path, recording: PhoneRecording) -> None:
+    """Write a recording (and its truth trace, if kept) to ``path``."""
+    out: dict = {
+        "t": recording.t,
+        "dt": np.array(recording.dt),
+        "mounting_yaw_true": np.array(recording.mounting_yaw_true),
+        "mounting_yaw_estimate": np.array(recording.mounting_yaw_estimate),
+        "gps.t": recording.gps.t,
+        "gps.x": recording.gps.x,
+        "gps.y": recording.gps.y,
+        "gps.speed": recording.gps.speed,
+        "gps.available": recording.gps.available,
+        "has_truth": np.array(recording.truth is not None),
+    }
+    for channel in _SIGNAL_CHANNELS:
+        _pack_signal(channel, getattr(recording, channel), out)
+    if recording.truth is not None:
+        _pack_trace("truth", recording.truth, out)
+    np.savez_compressed(Path(path), **out)
+
+
+def load_recording(path) -> PhoneRecording:
+    """Read a recording written by :func:`save_recording`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        kwargs = {
+            channel: _unpack_signal(channel, data) for channel in _SIGNAL_CHANNELS
+        }
+        truth = _unpack_trace("truth", data) if bool(data["has_truth"]) else None
+        return PhoneRecording(
+            t=data["t"],
+            dt=float(data["dt"]),
+            gps=GPSFixes(
+                t=data["gps.t"],
+                x=data["gps.x"],
+                y=data["gps.y"],
+                speed=data["gps.speed"],
+                available=data["gps.available"],
+            ),
+            mounting_yaw_true=float(data["mounting_yaw_true"]),
+            mounting_yaw_estimate=float(data["mounting_yaw_estimate"]),
+            truth=truth,
+            **kwargs,
+        )
+
+
+def _pack_trace(prefix: str, trace: TruthTrace, out: dict) -> None:
+    for name in _ARRAY_FIELDS:
+        out[f"{prefix}.{name}"] = getattr(trace, name)
+    out[f"{prefix}.lane"] = trace.lane
+    out[f"{prefix}.lane_change"] = trace.lane_change
+    out[f"{prefix}.gps_available"] = trace.gps_available
+    out[f"{prefix}.dt"] = np.array(trace.dt)
+    out[f"{prefix}.driver_name"] = np.array(trace.driver_name)
+
+
+def _unpack_trace(prefix: str, data) -> TruthTrace:
+    kwargs = {name: data[f"{prefix}.{name}"] for name in _ARRAY_FIELDS}
+    return TruthTrace(
+        **kwargs,
+        lane=data[f"{prefix}.lane"],
+        lane_change=data[f"{prefix}.lane_change"],
+        gps_available=data[f"{prefix}.gps_available"],
+        dt=float(data[f"{prefix}.dt"]),
+        driver_name=str(data[f"{prefix}.driver_name"]),
+    )
+
+
+def save_trace(path, trace: TruthTrace) -> None:
+    """Write a standalone truth trace to ``path``."""
+    out: dict = {}
+    _pack_trace("trace", trace, out)
+    np.savez_compressed(Path(path), **out)
+
+
+def load_trace(path) -> TruthTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if "trace.t" not in data:
+            raise SensorError(f"{path!r} does not contain a truth trace")
+        return _unpack_trace("trace", data)

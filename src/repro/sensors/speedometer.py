@@ -1,0 +1,32 @@
+"""Phone speedometer: the fused speed readout a navigation app exposes.
+
+Smartphone "speedometer" apps derive speed from GNSS carrier/Doppler plus
+IMU smoothing (see the paper's refs [25], [26]); the result is available at
+the phone rate with modest white noise and a small scale error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..vehicle.trip import TruthTrace
+from .base import SampledSignal
+from .noise import NoiseModel
+
+__all__ = ["Speedometer"]
+
+_DEFAULT_NOISE = NoiseModel(white_std=0.15, bias_std=0.05, drift_std=0.004, scale_std=0.004)
+
+
+@dataclass
+class Speedometer:
+    """Phone speed channel at the full sampling rate."""
+
+    noise: NoiseModel = field(default_factory=lambda: _DEFAULT_NOISE)
+
+    def measure(self, trace: TruthTrace, rng: np.random.Generator) -> SampledSignal:
+        values = self.noise.apply(trace.v, trace.dt, rng)
+        np.maximum(values, 0.0, out=values)
+        return SampledSignal(t=trace.t, values=values, name="speedometer", unit="m/s")

@@ -1,0 +1,348 @@
+"""Trip simulator: drive a road profile and record the ground truth.
+
+The simulator integrates the longitudinal force balance (Eq 3's forward
+form) and a kinematic lateral model at the smartphone sampling rate. Lane
+changes are initiated by the driver model on multi-lane stretches and
+executed as calibrated steering-rate doublets; between maneuvers a gentle
+lane-keeping controller plus road-roughness jitter keeps the steering-rate
+signal realistic (the paper's bump detector must reject this background).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import LANE_WIDTH_M, PHONE_SAMPLE_RATE_HZ
+from ..errors import ConfigurationError
+from ..roads.profile import RoadProfile
+from .driver import DriverModel, DriverProfile
+from .lateral import LaneChangeManeuver
+from .longitudinal import acceleration, driving_torque, required_traction_force
+from .params import DEFAULT_VEHICLE, VehicleParams
+from .trip import TruthTrace
+
+__all__ = ["SimulationConfig", "TripSimulator", "simulate_trip"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the trip simulation.
+
+    Attributes
+    ----------
+    sample_rate:
+        Smartphone sampling frequency f_sample [Hz].
+    initial_speed:
+        Speed at the route start [m/s]; None starts at the driver's cruise
+        speed (trips through a network rarely start from standstill).
+    speed_limit:
+        Optional posted limit [m/s] applied on top of the driver's cruise
+        speed.
+    traffic_modulation:
+        Amplitude in [0, 1) of a slow sinusoidal target-speed modulation
+        emulating surrounding traffic; keeps accelerations realistic.
+    lane_keeping_gain / lane_centering_gain:
+        Gains of the background steering controller.
+    allow_lane_changes:
+        Master switch (the steering-study generator disables scheduling and
+        injects maneuvers explicitly instead).
+    stops:
+        ``(position_m, duration_s)`` stop events (traffic lights, stop
+        signs): the driver brakes to a standstill at each position and
+        holds for the duration. Exercises the v ~ 0 regime the estimators
+        must survive.
+    """
+
+    sample_rate: float = PHONE_SAMPLE_RATE_HZ
+    initial_speed: float | None = None
+    speed_limit: float | None = None
+    traffic_modulation: float = 0.22
+    traffic_period_s: float = 55.0
+    lane_keeping_gain: float = 0.6
+    lane_centering_gain: float = 0.02
+    allow_lane_changes: bool = True
+    stops: tuple[tuple[float, float], ...] = ()
+    max_duration_s: float = 3600.0 * 6
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0.0:
+            raise ConfigurationError("sample rate must be positive")
+        if not (0.0 <= self.traffic_modulation < 1.0):
+            raise ConfigurationError("traffic modulation must be in [0, 1)")
+        for position, duration in self.stops:
+            if position < 0.0 or duration < 0.0:
+                raise ConfigurationError("stops need non-negative position/duration")
+
+
+class _UniformSampler:
+    """O(1) linear interpolation on the profile's (near-)uniform grid."""
+
+    def __init__(self, profile: RoadProfile) -> None:
+        ds = np.diff(profile.s)
+        self.uniform = bool(np.allclose(ds, ds[0], rtol=1e-6, atol=1e-9))
+        self.ds = float(ds[0])
+        self.s0 = float(profile.s[0])
+        self.n = len(profile.s)
+        self.profile = profile
+        self.grade = profile.grade
+        self.curvature = profile.curvature
+        self.z = profile.z
+        self.heading = profile.heading
+        self.x = profile.xy[:, 0]
+        self.y = profile.xy[:, 1]
+        self.lanes = profile.lanes
+        self.s_grid = profile.s
+
+    def _locate(self, s: float) -> tuple[int, float]:
+        if self.uniform:
+            pos = (s - self.s0) / self.ds
+            idx = int(pos)
+            if idx < 0:
+                return 0, 0.0
+            if idx >= self.n - 1:
+                return self.n - 2, 1.0
+            return idx, pos - idx
+        idx = int(np.searchsorted(self.s_grid, s, side="right")) - 1
+        idx = min(max(idx, 0), self.n - 2)
+        frac = (s - self.s_grid[idx]) / (self.s_grid[idx + 1] - self.s_grid[idx])
+        return idx, min(max(frac, 0.0), 1.0)
+
+    def field(self, table: np.ndarray, s: float) -> float:
+        idx, frac = self._locate(s)
+        return float(table[idx] + frac * (table[idx + 1] - table[idx]))
+
+    def lane_count(self, s: float) -> int:
+        idx, _ = self._locate(s)
+        return int(self.lanes[idx])
+
+    def min_lanes_ahead(self, s: float, horizon: float) -> int:
+        """Minimum lane count over [s, s + horizon] (maneuver feasibility)."""
+        i0, _ = self._locate(s)
+        i1, _ = self._locate(min(s + horizon, self.s_grid[-1]))
+        return int(np.min(self.lanes[i0 : i1 + 2]))
+
+
+class TripSimulator:
+    """Drives one vehicle with one driver over one road profile."""
+
+    def __init__(
+        self,
+        profile: RoadProfile,
+        driver: DriverProfile | None = None,
+        vehicle: VehicleParams | None = None,
+        config: SimulationConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.profile = profile
+        self.vehicle = vehicle or DEFAULT_VEHICLE
+        self.config = config or SimulationConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.driver_profile = driver or DriverProfile()
+        self.driver = DriverModel(self.driver_profile, rng=self.rng)
+        self._sampler = _UniformSampler(profile)
+
+    def run(self) -> TruthTrace:
+        """Simulate the whole route and return the ground-truth trace."""
+        cfg = self.config
+        dt = 1.0 / cfg.sample_rate
+        sampler = self._sampler
+        prof = self.profile
+        veh = self.vehicle
+
+        v = cfg.initial_speed if cfg.initial_speed is not None else self.driver_profile.cruise_speed
+        v = max(float(v), 0.5)
+        s = 0.0
+        t = 0.0
+        alpha = 0.0
+        lateral = 0.0
+        lane = 0
+        maneuver: LaneChangeManeuver | None = None
+        maneuver_t = 0.0
+        maneuver_dir = 0
+        traffic_phase = float(self.rng.uniform(0.0, 2.0 * math.pi))
+        pending_stops = sorted(cfg.stops)
+        next_stop = 0
+        stop_until: float | None = None
+
+        rec: dict[str, list] = {key: [] for key in (
+            "t", "s", "v", "a", "grade", "z", "x", "y", "vehicle_heading",
+            "road_heading", "yaw_rate", "steer_rate", "road_turn_rate",
+            "alpha", "lateral_offset", "torque", "lane", "lane_change",
+            "gps_available",
+        )}
+
+        length = prof.length
+        max_steps = int(cfg.max_duration_s / dt)
+        outages = prof.gps_outages
+
+        for _ in range(max_steps):
+            if s >= length:
+                break
+            grade = sampler.field(sampler.grade, s)
+            curvature = sampler.field(sampler.curvature, s)
+            z = sampler.field(sampler.z, s)
+            road_heading = sampler.field(sampler.heading, s)
+
+            # --- longitudinal control -------------------------------------
+            modulation = 1.0 + cfg.traffic_modulation * math.sin(
+                2.0 * math.pi * t / cfg.traffic_period_s + traffic_phase
+            )
+            v_target = self.driver.target_speed(curvature, cfg.speed_limit) * modulation
+
+            # --- stop events (traffic lights / stop signs) -----------------
+            brake_cmd: float | None = None
+            if stop_until is not None:
+                if t < stop_until:
+                    v_target = 0.0
+                    brake_cmd = -self.driver_profile.comfort_decel
+                else:
+                    stop_until = None
+            elif next_stop < len(pending_stops):
+                stop_pos, stop_dur = pending_stops[next_stop]
+                dist = stop_pos - s
+                if dist <= 2.5 and v <= 0.8:
+                    stop_until = t + stop_dur
+                    next_stop += 1
+                    v_target = 0.0
+                    brake_cmd = -self.driver_profile.comfort_decel
+                elif dist <= 0.0:
+                    next_stop += 1  # overshot at speed; skip the stale stop
+                else:
+                    # Hold the speed below the comfortable stopping envelope
+                    # and brake explicitly once inside it (a P speed
+                    # controller is too sluggish to hit a point target).
+                    decel = 0.7 * self.driver_profile.comfort_decel
+                    v_target = min(
+                        v_target, math.sqrt(2.0 * decel * max(dist - 1.0, 0.0))
+                    )
+                    required = v * v / (2.0 * max(dist - 1.0, 0.3))
+                    if required > 0.45 * self.driver_profile.comfort_decel:
+                        brake_cmd = -min(
+                            required, 2.0 * self.driver_profile.comfort_decel
+                        )
+
+            a_cmd = self.driver.longitudinal_accel(v, v_target)
+            if brake_cmd is not None:
+                a_cmd = min(a_cmd, brake_cmd)
+                if v + a_cmd * dt < 0.0:
+                    a_cmd = -v / dt  # do not reverse
+            force = float(
+                np.clip(
+                    required_traction_force(veh, a_cmd, v, grade),
+                    -veh.max_brake_force,
+                    veh.max_drive_force,
+                )
+            )
+            a = float(acceleration(veh, force, v, grade))
+            torque = force * veh.wheel_radius
+
+            # --- lateral control -------------------------------------------
+            jitter = self.driver.steering_jitter()
+            if maneuver is not None:
+                w_steer = float(maneuver.steering_rate(maneuver_t)) + jitter
+                maneuver_t += dt
+                if maneuver_t >= maneuver.duration:
+                    lane += maneuver_dir
+                    lateral -= maneuver_dir * LANE_WIDTH_M
+                    maneuver = None
+                    maneuver_dir = 0
+            else:
+                w_steer = (
+                    jitter
+                    - cfg.lane_keeping_gain * alpha
+                    - cfg.lane_centering_gain * lateral / max(v, 1.0)
+                )
+                if cfg.allow_lane_changes and self.driver.wants_lane_change(v * dt):
+                    planned = self._try_start_lane_change(s, v, lane)
+                    if planned is not None:
+                        maneuver, maneuver_dir = planned
+                        maneuver_t = 0.0
+
+            w_road = curvature * v * math.cos(alpha)
+            yaw_rate = w_road + w_steer
+
+            gps_ok = True
+            for lo, hi in outages:
+                if lo <= s <= hi:
+                    gps_ok = False
+                    break
+
+            rec["t"].append(t)
+            rec["s"].append(s)
+            rec["v"].append(v)
+            rec["a"].append(a)
+            rec["grade"].append(grade)
+            rec["z"].append(z)
+            normal_x = -math.sin(road_heading)
+            normal_y = math.cos(road_heading)
+            lane_offset = (lane + 0.5 - sampler.lane_count(s) / 2.0) * LANE_WIDTH_M
+            base_x = sampler.field(sampler.x, s)
+            base_y = sampler.field(sampler.y, s)
+            rec["x"].append(base_x + (lateral + lane_offset) * normal_x)
+            rec["y"].append(base_y + (lateral + lane_offset) * normal_y)
+            rec["vehicle_heading"].append(road_heading + alpha)
+            rec["road_heading"].append(road_heading)
+            rec["yaw_rate"].append(yaw_rate)
+            rec["steer_rate"].append(w_steer)
+            rec["road_turn_rate"].append(w_road)
+            rec["alpha"].append(alpha)
+            rec["lateral_offset"].append(lateral)
+            rec["torque"].append(torque)
+            rec["lane"].append(lane)
+            rec["lane_change"].append(maneuver_dir if maneuver is not None else 0)
+            rec["gps_available"].append(gps_ok)
+
+            # --- integrate (explicit Euler with the recorded state) --------
+            s += v * math.cos(alpha) * dt
+            lateral += v * math.sin(alpha) * dt
+            alpha += w_steer * dt
+            v = max(v + a * dt, 0.0)
+            t += dt
+
+        arrays = {key: np.asarray(vals) for key, vals in rec.items()}
+        return TruthTrace(
+            dt=dt,
+            profile=prof,
+            driver_name=self.driver_profile.name,
+            **arrays,
+        )
+
+    def _try_start_lane_change(
+        self, s: float, v: float, lane: int
+    ) -> tuple[LaneChangeManeuver, int] | None:
+        """Start a maneuver if road geometry permits one here."""
+        lanes_here = self._sampler.lane_count(s)
+        if lanes_here < 2 or v < 3.0:
+            return None
+        if lane <= 0:
+            direction = +1  # rightmost lane: move left
+        elif lane >= lanes_here - 1:
+            direction = -1  # leftmost lane: move right
+        else:
+            direction = int(self.rng.choice([-1, +1]))
+        maneuver = self.driver.plan_maneuver(v, direction)
+        horizon = v * maneuver.duration * 1.3 + 10.0
+        if self._sampler.min_lanes_ahead(s, horizon) < 2:
+            return None
+        return maneuver, direction
+
+
+def simulate_trip(
+    profile: RoadProfile,
+    driver: DriverProfile | None = None,
+    vehicle: VehicleParams | None = None,
+    config: SimulationConfig | None = None,
+    seed: int = 0,
+) -> TruthTrace:
+    """Convenience wrapper: simulate one trip with a seeded RNG."""
+    sim = TripSimulator(
+        profile,
+        driver=driver,
+        vehicle=vehicle,
+        config=config,
+        rng=np.random.default_rng(seed),
+    )
+    return sim.run()

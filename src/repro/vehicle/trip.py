@@ -1,0 +1,188 @@
+"""Trip containers: the ground-truth trace a simulated drive produces.
+
+A :class:`TruthTrace` is the *noise-free* record of everything that happened
+during a trip, sampled at the smartphone rate. Sensor models
+(:mod:`repro.sensors`) consume it to produce noisy measurements; evaluators
+score estimates against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..roads.profile import RoadProfile
+
+__all__ = ["TruthTrace"]
+
+_ARRAY_FIELDS = (
+    "t",
+    "s",
+    "v",
+    "a",
+    "grade",
+    "z",
+    "x",
+    "y",
+    "vehicle_heading",
+    "road_heading",
+    "yaw_rate",
+    "steer_rate",
+    "road_turn_rate",
+    "alpha",
+    "lateral_offset",
+    "torque",
+)
+
+
+@dataclass
+class TruthTrace:
+    """Ground-truth state of one trip, sampled uniformly in time.
+
+    Attributes
+    ----------
+    t:
+        Time stamps [s], uniform at the smartphone sampling period.
+    s:
+        Arc length along the route centreline [m].
+    v:
+        Path (wheel) speed [m/s] — what a speedometer reads.
+    a:
+        Path acceleration dv/dt [m/s^2].
+    grade:
+        True road gradient [rad] under the vehicle.
+    z:
+        True elevation [m].
+    x, y:
+        Planar ENU position [m] (includes lateral offset within the road).
+    vehicle_heading:
+        Vehicle direction relative to East [rad].
+    road_heading:
+        Road direction relative to East at ``s`` [rad].
+    yaw_rate:
+        ``w_vehicle`` — vehicle direction change rate [rad/s] (gyro truth).
+    steer_rate:
+        ``w_steer`` — the true steering rate [rad/s].
+    road_turn_rate:
+        ``w_road`` — road direction change rate under the vehicle [rad/s].
+    alpha:
+        Heading deviation from the road direction [rad].
+    lateral_offset:
+        Lateral position relative to the current lane centre [m].
+    torque:
+        Driving torque at the wheels [N m].
+    lane:
+        Integer lane index (0 = rightmost).
+    lane_change:
+        0 when driving straight, +1 during a left change, -1 during a right.
+    gps_available:
+        Whether GPS service exists at the vehicle's position.
+    dt:
+        Sampling period [s].
+    profile:
+        The road profile driven (kept for evaluation lookups).
+    driver_name:
+        Which driver produced the trip.
+    """
+
+    t: np.ndarray
+    s: np.ndarray
+    v: np.ndarray
+    a: np.ndarray
+    grade: np.ndarray
+    z: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    vehicle_heading: np.ndarray
+    road_heading: np.ndarray
+    yaw_rate: np.ndarray
+    steer_rate: np.ndarray
+    road_turn_rate: np.ndarray
+    alpha: np.ndarray
+    lateral_offset: np.ndarray
+    torque: np.ndarray
+    lane: np.ndarray
+    lane_change: np.ndarray
+    gps_available: np.ndarray
+    dt: float
+    profile: RoadProfile | None = None
+    driver_name: str = "driver"
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.t)
+        for name in _ARRAY_FIELDS:
+            arr = np.asarray(getattr(self, name), dtype=float)
+            if arr.shape != (n,):
+                raise ConfigurationError(f"trace field {name!r} has shape {arr.shape}, want ({n},)")
+            setattr(self, name, arr)
+        self.lane = np.asarray(self.lane, dtype=int)
+        self.lane_change = np.asarray(self.lane_change, dtype=int)
+        self.gps_available = np.asarray(self.gps_available, dtype=bool)
+        if self.lane.shape != (n,) or self.lane_change.shape != (n,):
+            raise ConfigurationError("lane arrays must match the trace length")
+        if self.gps_available.shape != (n,):
+            raise ConfigurationError("gps_available must match the trace length")
+        if self.dt <= 0.0:
+            raise ConfigurationError("dt must be positive")
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def duration(self) -> float:
+        """Trip duration [s]."""
+        return float(self.t[-1] - self.t[0])
+
+    @property
+    def distance(self) -> float:
+        """Distance covered along the route [m]."""
+        return float(self.s[-1] - self.s[0])
+
+    @property
+    def v_longitudinal(self) -> np.ndarray:
+        """Speed component along the road direction, ``v cos(alpha)`` [m/s]."""
+        return self.v * np.cos(self.alpha)
+
+    @property
+    def specific_force_longitudinal(self) -> np.ndarray:
+        """What an ideal longitudinal accelerometer reads: a + g sin(theta)."""
+        from ..constants import GRAVITY
+
+        return self.a + GRAVITY * np.sin(self.grade)
+
+    def lane_change_intervals(self) -> list[tuple[int, int, int]]:
+        """Contiguous lane-change spans as (start_idx, end_idx, direction).
+
+        ``end_idx`` is exclusive; direction is +1 (left) or -1 (right).
+        """
+        spans: list[tuple[int, int, int]] = []
+        active = self.lane_change != 0
+        i = 0
+        n = len(active)
+        while i < n:
+            if active[i]:
+                j = i
+                while j < n and self.lane_change[j] == self.lane_change[i]:
+                    j += 1
+                spans.append((i, j, int(self.lane_change[i])))
+                i = j
+            else:
+                i += 1
+        return spans
+
+    def slice(self, start: int, stop: int) -> "TruthTrace":
+        """A sub-trace covering ``[start, stop)`` samples."""
+        kwargs = {name: getattr(self, name)[start:stop] for name in _ARRAY_FIELDS}
+        return TruthTrace(
+            **kwargs,
+            lane=self.lane[start:stop],
+            lane_change=self.lane_change[start:stop],
+            gps_available=self.gps_available[start:stop],
+            dt=self.dt,
+            profile=self.profile,
+            driver_name=self.driver_name,
+            extras=dict(self.extras),
+        )

@@ -1,0 +1,81 @@
+"""Elevation reconstruction tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.elevation import climb_statistics, reconstruct_elevation
+from repro.core.track import GradientTrack
+from repro.errors import EstimationError
+
+
+def track_for(theta_fn, length=2000.0, n=400, var=1e-6):
+    s = np.linspace(0.0, length, n)
+    theta = theta_fn(s)
+    return GradientTrack(
+        name="x",
+        t=s / 10.0,
+        s=s,
+        theta=theta,
+        variance=np.full(n, var),
+        v=np.full(n, 10.0),
+    )
+
+
+class TestReconstruction:
+    def test_constant_grade_line(self):
+        track = track_for(lambda s: np.full_like(s, 0.03))
+        est = reconstruct_elevation(track, anchor_elevation=100.0)
+        expected = 100.0 + np.sin(0.03) * (est.s - est.s[0])
+        assert np.allclose(est.z, expected, atol=1e-6)
+
+    def test_sinusoid_round_trip(self):
+        amp, wl = np.radians(2.5), 600.0
+        track = track_for(lambda s: amp * np.sin(2 * np.pi * s / wl))
+        est = reconstruct_elevation(track)
+        # z should be ~ -amp*wl/(2 pi) cos(...) + C; check peak-to-peak.
+        expected_ptp = 2.0 * np.sin(amp) * wl / (2 * np.pi)
+        assert np.ptp(est.z) == pytest.approx(expected_ptp, rel=0.05)
+
+    def test_anchor_applied(self):
+        track = track_for(lambda s: np.zeros_like(s))
+        est = reconstruct_elevation(track, anchor_elevation=42.0)
+        assert est.z[0] == 42.0
+
+    def test_sigma_grows_with_distance(self):
+        track = track_for(lambda s: np.zeros_like(s), var=1e-4)
+        est = reconstruct_elevation(track)
+        assert est.z_sigma[0] == 0.0
+        assert np.all(np.diff(est.z_sigma) >= 0.0)
+        assert est.z_sigma[-1] > est.z_sigma[len(est.z_sigma) // 2]
+
+    def test_custom_grid(self):
+        track = track_for(lambda s: np.full_like(s, 0.02))
+        grid = np.linspace(100.0, 1900.0, 50)
+        est = reconstruct_elevation(track, grid=grid)
+        assert len(est.z) == 50
+
+    def test_bad_grid(self):
+        track = track_for(lambda s: np.zeros_like(s))
+        with pytest.raises(EstimationError):
+            reconstruct_elevation(track, grid=np.array([1.0]))
+
+    def test_ascent_descent(self):
+        track = track_for(
+            lambda s: np.where(s < 1000.0, 0.03, -0.03)
+        )
+        est = reconstruct_elevation(track)
+        assert est.total_ascent() == pytest.approx(np.sin(0.03) * 1000.0, rel=0.05)
+        assert est.total_descent() == pytest.approx(np.sin(0.03) * 1000.0, rel=0.05)
+
+
+class TestStatistics:
+    def test_keys_and_values(self):
+        track = track_for(lambda s: np.where(s < 1000.0, 0.02, -0.01))
+        est = reconstruct_elevation(track, anchor_elevation=10.0)
+        stats = climb_statistics(est)
+        assert stats["min_elevation_m"] >= 9.9
+        assert stats["max_elevation_m"] > stats["min_elevation_m"]
+        assert stats["net_gain_m"] == pytest.approx(
+            est.z[-1] - est.z[0]
+        )
+        assert stats["final_sigma_m"] == est.z_sigma[-1]

@@ -1,0 +1,95 @@
+"""Cloud grade-map store tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.grade_map import GradeMapStore
+from repro.core.track import GradientTrack
+from repro.errors import FusionError
+
+
+def make_track(theta, var, length=500.0, n=200, name="v"):
+    s = np.linspace(0.0, length, n)
+    return GradientTrack(
+        name=name,
+        t=s / 10.0,
+        s=s,
+        theta=np.full(n, theta),
+        variance=np.full(n, var),
+        v=np.full(n, 10.0),
+    )
+
+
+class TestIngest:
+    def test_first_track_stored(self):
+        store = GradeMapStore()
+        store.ingest("road-1", make_track(0.03, 1e-4), 500.0)
+        assert "road-1" in store
+        assert store.entry("road-1").n_tracks == 1
+        assert store.gradient_at("road-1", 250.0) == pytest.approx(0.03, abs=1e-6)
+
+    def test_incremental_fusion_weights(self):
+        store = GradeMapStore()
+        store.ingest("r", make_track(0.00, 1e-6), 500.0)  # precise
+        store.ingest("r", make_track(0.10, 1e-2), 500.0)  # noisy
+        assert store.gradient_at("r", 250.0) == pytest.approx(0.0, abs=1e-3)
+        assert store.entry("r").n_tracks == 2
+
+    def test_variance_shrinks_with_tracks(self):
+        store = GradeMapStore()
+        store.ingest("r", make_track(0.02, 1e-4), 500.0)
+        var1 = store.entry("r").variance.mean()
+        store.ingest("r", make_track(0.02, 1e-4), 500.0)
+        assert store.entry("r").variance.mean() < var1
+
+    def test_roads_listing(self):
+        store = GradeMapStore()
+        store.ingest("b", make_track(0.0, 1e-4), 500.0)
+        store.ingest("a", make_track(0.0, 1e-4), 500.0)
+        assert store.roads == ["a", "b"]
+        assert len(store) == 2
+
+    def test_length_mismatch_rejected(self):
+        store = GradeMapStore()
+        store.ingest("r", make_track(0.0, 1e-4), 500.0)
+        with pytest.raises(FusionError):
+            store.ingest("r", make_track(0.0, 1e-4, length=900.0), 900.0)
+
+    def test_short_road_rejected(self):
+        store = GradeMapStore(grid_spacing=10.0)
+        with pytest.raises(FusionError):
+            store.ingest("r", make_track(0.0, 1e-4), 5.0)
+
+    def test_missing_road(self):
+        with pytest.raises(FusionError):
+            GradeMapStore().entry("nowhere")
+
+    def test_tuple_keys_stringified(self):
+        store = GradeMapStore()
+        store.ingest((3, 4), make_track(0.01, 1e-4), 500.0)
+        assert (3, 4) in store
+        assert store.gradient_at((3, 4), 100.0) == pytest.approx(0.01, abs=1e-6)
+
+
+class TestPersistence:
+    def test_json_round_trip(self):
+        store = GradeMapStore(grid_spacing=5.0)
+        store.ingest("r", make_track(0.025, 1e-4), 500.0)
+        store.ingest("r", make_track(0.035, 2e-4), 500.0)
+        clone = GradeMapStore.from_json(store.to_json())
+        assert clone.grid_spacing == 5.0
+        assert np.allclose(clone.entry("r").theta, store.entry("r").theta)
+        assert np.allclose(clone.entry("r").variance, store.entry("r").variance)
+        assert clone.entry("r").n_tracks == 2
+
+    def test_file_round_trip(self, tmp_path):
+        store = GradeMapStore()
+        store.ingest("r", make_track(0.02, 1e-4), 500.0)
+        path = tmp_path / "grades.json"
+        store.save(path)
+        clone = GradeMapStore.load(path)
+        assert clone.gradient_at("r", 100.0) == pytest.approx(0.02, abs=1e-6)
+
+    def test_bad_grid_spacing(self):
+        with pytest.raises(FusionError):
+            GradeMapStore(grid_spacing=0.0)

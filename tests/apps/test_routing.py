@@ -1,0 +1,73 @@
+"""Fuel-aware routing tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.routing import compare_routes, edge_fuel_cost, least_fuel_route
+from repro.roads.builder import SectionSpec, build_profile
+from repro.roads.network import RoadEdge, RoadNetwork
+
+
+@pytest.fixture(scope="module")
+def diamond_network():
+    """Two paths a->b: flat-but-longer (via c) and steep-but-shorter (via d)."""
+    net = RoadNetwork()
+    for node, (x, y) in {
+        "a": (0.0, 0.0), "b": (1200.0, 0.0), "c": (600.0, 500.0), "d": (600.0, -200.0)
+    }.items():
+        net.add_intersection(node, x, y)
+
+    def road(u, v, length, grade_deg, start_xy, heading=0.0):
+        prof = build_profile(
+            [SectionSpec.from_degrees(length, grade_deg)],
+            start_xy=start_xy,
+            start_heading=heading,
+            name=f"{u}{v}",
+        )
+        net.add_road(RoadEdge(u=u, v=v, profile=prof))
+
+    # Flat detour: 800 m + 800 m at 0 degrees.
+    road("a", "c", 800.0, 0.0, (0.0, 0.0), math.pi / 4)
+    road("c", "b", 800.0, 0.0, (600.0, 500.0), -math.pi / 4)
+    # Steep shortcut: 650 m up 5 deg + 650 m down 5 deg.
+    road("a", "d", 650.0, 5.0, (0.0, 0.0), -math.pi / 8)
+    road("d", "b", 650.0, -5.0, (600.0, -200.0), math.pi / 8)
+    return net
+
+
+class TestEdgeCost:
+    def test_uphill_costs_more(self, diamond_network):
+        up = edge_fuel_cost(diamond_network.edge_between("a", "d"))
+        flat = edge_fuel_cost(diamond_network.edge_between("a", "c"))
+        assert up > flat
+
+    def test_gradient_lookup_override(self, diamond_network):
+        edge = diamond_network.edge_between("a", "d")
+        flat_cost = edge_fuel_cost(
+            edge, gradient_lookup=lambda e: np.zeros(len(e.profile.s))
+        )
+        true_cost = edge_fuel_cost(edge)
+        assert flat_cost < true_cost
+
+
+class TestRouting:
+    def test_least_fuel_takes_the_flat_detour(self, diamond_network):
+        route = least_fuel_route(diamond_network, "a", "b")
+        assert route == ["a", "c", "b"]
+
+    def test_shortest_takes_the_hill(self, diamond_network):
+        assert diamond_network.shortest_route("a", "b") == ["a", "d", "b"]
+
+    def test_comparison(self, diamond_network):
+        cmp_res = compare_routes(diamond_network, "a", "b")
+        assert cmp_res.routes_differ
+        assert cmp_res.fuel_saving > 0.0
+        assert cmp_res.extra_distance > 0.0
+        assert cmp_res.greenest_nodes == ("a", "c", "b")
+
+    def test_flat_world_routes_coincide(self, diamond_network):
+        flat = lambda e: np.zeros(len(e.profile.s))
+        cmp_res = compare_routes(diamond_network, "a", "b", gradient_lookup=flat)
+        assert not cmp_res.routes_differ

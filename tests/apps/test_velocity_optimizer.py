@@ -1,0 +1,114 @@
+"""Velocity-profile optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.velocity_optimizer import (
+    VelocityOptimizerConfig,
+    optimize_velocity_profile,
+)
+from repro.constants import KMH
+from repro.emissions.fuel import route_fuel_gallons
+from repro.errors import ConfigurationError
+
+
+def flat(length=2000.0, n=200):
+    s = np.linspace(0.0, length, n)
+    return s, np.zeros(n)
+
+
+def hilly(length=3000.0, n=300, amp_deg=3.0, wavelength=800.0):
+    s = np.linspace(0.0, length, n)
+    return s, np.radians(amp_deg) * np.sin(2 * np.pi * s / wavelength)
+
+
+class TestOptimizer:
+    def test_flat_route_constant_cruise(self):
+        s, theta = flat()
+        plan = optimize_velocity_profile(s, theta)
+        # The optimum cruises at one speed, then coasts to the finish (the
+        # classic free-final-state result). Check the cruise body.
+        body = plan.v[2 : int(len(plan.v) * 0.6)]
+        assert np.ptp(body) <= 2.0 * VelocityOptimizerConfig().v_step
+
+    def test_flat_route_terminal_coast(self):
+        s, theta = flat()
+        plan = optimize_velocity_profile(s, theta)
+        # Free end state: coasting down at the end saves fuel.
+        assert plan.v[-1] < plan.v[len(plan.v) // 2]
+
+    def test_plan_covers_route(self):
+        s, theta = hilly()
+        plan = optimize_velocity_profile(s, theta)
+        assert plan.s[0] == pytest.approx(s[0])
+        assert plan.s[-1] == pytest.approx(s[-1])
+
+    def test_beats_constant_speed_on_hills(self):
+        s, theta = hilly()
+        plan = optimize_velocity_profile(s, theta)
+        const_fuel = route_fuel_gallons(theta, s, plan.mean_speed)
+        assert plan.fuel_gallons < const_fuel
+
+    def test_respects_speed_bounds(self):
+        s, theta = hilly()
+        cfg = VelocityOptimizerConfig(v_min=8.0, v_max=15.0)
+        plan = optimize_velocity_profile(s, theta, cfg)
+        assert plan.v.min() >= 8.0 - 1e-9
+        assert plan.v.max() <= 15.0 + 1e-9
+
+    def test_respects_acceleration_bounds(self):
+        s, theta = hilly()
+        cfg = VelocityOptimizerConfig(max_accel=0.8, max_decel=1.0)
+        plan = optimize_velocity_profile(s, theta, cfg)
+        ds = np.diff(plan.s)
+        accel = np.diff(plan.v**2) / (2.0 * ds)
+        assert np.all(accel <= 0.8 + 1e-9)
+        assert np.all(accel >= -1.0 - 1e-9)
+
+    def test_time_penalty_buys_speed(self):
+        s, theta = hilly()
+        slow = optimize_velocity_profile(
+            s, theta, VelocityOptimizerConfig(lambda_time=0.5)
+        )
+        fast = optimize_velocity_profile(
+            s, theta, VelocityOptimizerConfig(lambda_time=8.0)
+        )
+        assert fast.mean_speed > slow.mean_speed
+        assert fast.fuel_gallons > slow.fuel_gallons
+
+    def test_boundary_speeds(self):
+        s, theta = flat()
+        cfg = VelocityOptimizerConfig(v_start=10.0, v_end=12.0, v_step=0.5)
+        plan = optimize_velocity_profile(s, theta, cfg)
+        assert plan.v[0] == pytest.approx(10.0, abs=0.5)
+        assert plan.v[-1] == pytest.approx(12.0, abs=0.5)
+
+    def test_bleeds_speed_on_climbs(self):
+        # The pulse-and-glide signature: decelerate up, re-accelerate down.
+        s, theta = hilly(amp_deg=4.0)
+        plan = optimize_velocity_profile(s, theta)
+        seg_theta = np.interp(0.5 * (plan.s[:-1] + plan.s[1:]), s, theta)
+        dv = np.diff(plan.v**2)  # kinetic-energy change per segment
+        cut = int(len(dv) * 0.85)  # exclude the terminal coast
+        up = seg_theta[:cut] > np.radians(2.0)
+        down = seg_theta[:cut] < -np.radians(2.0)
+        assert dv[:cut][up].mean() < 0.0
+        assert dv[:cut][down].mean() > 0.0
+
+    def test_infeasible_constraints_raise(self):
+        s, theta = flat(length=100.0)
+        cfg = VelocityOptimizerConfig(
+            v_start=15.0 * KMH, v_end=69.0 * KMH, max_accel=0.01, ds=50.0
+        )
+        with pytest.raises(ConfigurationError):
+            optimize_velocity_profile(s, theta, cfg)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimize_velocity_profile(np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            optimize_velocity_profile(np.array([0.0, -1.0]), np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            VelocityOptimizerConfig(v_min=0.0)
+        with pytest.raises(ConfigurationError):
+            VelocityOptimizerConfig(v_step=0.0)

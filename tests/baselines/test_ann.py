@@ -1,0 +1,136 @@
+"""ANN baseline [8] tests: network mechanics and end-to-end behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ann import (
+    ANNBaselineConfig,
+    ANNGradientEstimator,
+    MLP,
+    training_samples_from_recording,
+)
+from repro.errors import TrainingError
+
+
+class TestMLP:
+    def test_forward_shapes(self):
+        net = MLP((3, 8, 1))
+        out = net.forward(np.zeros((10, 3)))
+        assert out.shape == (10, 1)
+
+    def test_needs_two_layers(self):
+        with pytest.raises(TrainingError):
+            MLP((3,))
+
+    def test_deterministic_init(self):
+        a = MLP((3, 4, 1), rng=np.random.default_rng(1))
+        b = MLP((3, 4, 1), rng=np.random.default_rng(1))
+        assert np.array_equal(a.weights[0], b.weights[0])
+
+    def test_backprop_matches_numeric_gradient(self):
+        rng = np.random.default_rng(0)
+        net = MLP((2, 4, 1), rng=rng)
+        x = rng.normal(size=(5, 2))
+        y = rng.normal(size=(5, 1))
+
+        def loss():
+            return float(np.mean((net.forward(x) - y) ** 2))
+
+        pred, acts = net.forward_cached(x)
+        grads_w, _ = net.gradients(acts, 2.0 * (pred - y))
+        eps = 1e-6
+        for layer in range(2):
+            w = net.weights[layer]
+            i, j = 0, 0
+            w[i, j] += eps
+            up = loss()
+            w[i, j] -= 2 * eps
+            down = loss()
+            w[i, j] += eps
+            numeric = (up - down) / (2 * eps)
+            assert grads_w[layer][i, j] == pytest.approx(numeric, abs=1e-5)
+
+
+class TestTraining:
+    def _linear_data(self, n=2000, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        y = (0.5 * x[:, 0] - 0.2 * x[:, 1] + 0.1)[:, None]
+        return x, y
+
+    def test_loss_decreases(self):
+        x, y = self._linear_data()
+        ann = ANNGradientEstimator(ANNBaselineConfig(epochs=30, seed=1))
+        losses = ann.fit(x, y)
+        assert losses[-1] < losses[0] * 0.2
+
+    def test_learns_linear_map(self):
+        x, y = self._linear_data()
+        ann = ANNGradientEstimator(ANNBaselineConfig(epochs=60, seed=1))
+        ann.fit(x, y)
+        pred = ann.predict(x)
+        assert np.mean(np.abs(pred - y[:, 0])) < 0.05
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            ANNGradientEstimator().predict(np.zeros((3, 3)))
+
+    def test_no_samples_raises(self):
+        with pytest.raises(TrainingError):
+            ANNGradientEstimator().fit(np.zeros((0, 3)), np.zeros((0, 1)))
+
+    def test_deterministic_training(self):
+        x, y = self._linear_data()
+        a = ANNGradientEstimator(ANNBaselineConfig(epochs=5, seed=2))
+        b = ANNGradientEstimator(ANNBaselineConfig(epochs=5, seed=2))
+        a.fit(x, y)
+        b.fit(x, y)
+        assert np.array_equal(a.predict(x[:10]), b.predict(x[:10]))
+
+    def test_is_trained_flag(self):
+        ann = ANNGradientEstimator(ANNBaselineConfig(epochs=1))
+        assert not ann.is_trained
+        ann.fit(*self._linear_data(n=100))
+        assert ann.is_trained
+
+
+class TestRecordingInterface:
+    def test_training_sample_budget(self, hill_recording):
+        labels = hill_recording.truth.grade
+        rng = np.random.default_rng(0)
+        x, y = training_samples_from_recording(hill_recording, labels, 500, rng)
+        assert x.shape == (500, 3)
+        assert y.shape == (500, 1)
+
+    def test_budget_capped_at_recording_length(self, hill_recording):
+        labels = hill_recording.truth.grade
+        rng = np.random.default_rng(0)
+        n = len(hill_recording.t)
+        x, _ = training_samples_from_recording(hill_recording, labels, n + 999, rng)
+        assert len(x) == n
+
+    def test_label_shape_checked(self, hill_recording):
+        with pytest.raises(TrainingError):
+            training_samples_from_recording(
+                hill_recording, np.zeros(3), 10, np.random.default_rng(0)
+            )
+
+    def test_estimate_track_end_to_end(self, hill_recording):
+        ann = ANNGradientEstimator(ANNBaselineConfig(epochs=40, seed=3))
+        ann.fit_recording(hill_recording, hill_recording.truth.grade)
+        track = ann.estimate_track(hill_recording, hill_recording.truth.s)
+        # Trained and evaluated on the same trip: should correlate strongly.
+        corr = np.corrcoef(track.theta, hill_recording.truth.grade)[0, 1]
+        assert corr > 0.6
+
+    def test_estimate_track_stride(self, hill_recording):
+        ann = ANNGradientEstimator(ANNBaselineConfig(epochs=5, seed=3))
+        ann.fit_recording(hill_recording, hill_recording.truth.grade)
+        track = ann.estimate_track(hill_recording, hill_recording.truth.s, stride=4)
+        assert len(track) == (len(hill_recording.t) + 3) // 4
+
+    def test_bad_stride(self, hill_recording):
+        ann = ANNGradientEstimator(ANNBaselineConfig(epochs=1, seed=3))
+        ann.fit_recording(hill_recording, hill_recording.truth.grade)
+        with pytest.raises(TrainingError):
+            ann.estimate_track(hill_recording, hill_recording.truth.s, stride=0)

@@ -1,0 +1,65 @@
+"""Naive barometer-slope baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.barometer_direct import BarometerSlopeConfig, estimate_gradient_barometer
+from repro.errors import EstimationError
+from repro.roads import SectionSpec, build_profile
+from repro.sensors import NoiseModel, Smartphone
+from repro.sensors.barometer import Barometer
+from repro.vehicle import DriverProfile, simulate_trip
+
+
+@pytest.fixture(scope="module")
+def slope_setup():
+    prof = build_profile([SectionSpec.from_degrees(800.0, 2.0)], smooth_m=0.0)
+    trace = simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), seed=4)
+    phone = Smartphone(barometer=Barometer(noise=NoiseModel(white_std=0.2)))
+    return trace, phone.record(trace, np.random.default_rng(5))
+
+
+class TestBarometerSlope:
+    def test_recovers_grade_with_clean_barometer(self, slope_setup):
+        trace, rec = slope_setup
+        track = estimate_gradient_barometer(rec, trace.s)
+        mid = track.theta[len(track) // 3 : -len(track) // 3]
+        assert np.mean(mid) == pytest.approx(np.radians(2.0), abs=np.radians(0.4))
+
+    def test_wider_window_smoother(self, slope_setup):
+        trace, rec = slope_setup
+        narrow = estimate_gradient_barometer(
+            rec, trace.s, BarometerSlopeConfig(window_m=20.0)
+        )
+        wide = estimate_gradient_barometer(
+            rec, trace.s, BarometerSlopeConfig(window_m=120.0)
+        )
+        assert np.std(np.diff(wide.theta)) <= np.std(np.diff(narrow.theta))
+
+    def test_default_barometer_is_poor(self):
+        prof = build_profile([SectionSpec.from_degrees(800.0, 2.0)], smooth_m=0.0)
+        trace = simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), seed=4)
+        rec = Smartphone().record(trace, np.random.default_rng(5))
+        track = estimate_gradient_barometer(rec, trace.s)
+        err = np.abs(track.theta - np.radians(2.0))
+        # The paper's point: the phone barometer alone is not grade-accurate.
+        assert np.mean(err) > np.radians(0.15)
+
+    def test_bad_config(self):
+        with pytest.raises(EstimationError):
+            BarometerSlopeConfig(window_m=0.0)
+
+    def test_shape_mismatch(self, slope_setup):
+        trace, rec = slope_setup
+        with pytest.raises(EstimationError):
+            estimate_gradient_barometer(rec, trace.s[:-1])
+
+    def test_variance_scales_with_window(self, slope_setup):
+        trace, rec = slope_setup
+        narrow = estimate_gradient_barometer(
+            rec, trace.s, BarometerSlopeConfig(window_m=20.0)
+        )
+        wide = estimate_gradient_barometer(
+            rec, trace.s, BarometerSlopeConfig(window_m=200.0)
+        )
+        assert wide.variance[0] < narrow.variance[0]

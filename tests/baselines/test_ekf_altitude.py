@@ -1,0 +1,84 @@
+"""EKF-altitude baseline [7] tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ekf_altitude import AltitudeEKFConfig, estimate_gradient_ekf_baseline
+from repro.errors import EstimationError
+from repro.roads import SectionSpec, build_profile
+from repro.sensors import Smartphone, NoiseModel
+from repro.sensors.barometer import Barometer
+from repro.vehicle import DriverProfile, simulate_trip
+
+
+@pytest.fixture(scope="module")
+def slope_recording():
+    """Constant 3-degree climb with a *good* barometer (isolates the filter)."""
+    prof = build_profile([SectionSpec.from_degrees(900.0, 3.0)], smooth_m=0.0)
+    trace = simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), seed=5)
+    phone = Smartphone(barometer=Barometer(noise=NoiseModel(white_std=0.3)))
+    rec = phone.record(trace, np.random.default_rng(6))
+    return trace, rec
+
+
+class TestBaseline:
+    def test_recovers_constant_grade(self, slope_recording):
+        trace, rec = slope_recording
+        track = estimate_gradient_ekf_baseline(rec, trace.s)
+        tail = track.theta[len(track) // 2 :]
+        assert np.mean(tail) == pytest.approx(np.radians(3.0), abs=np.radians(0.5))
+
+    def test_velocity_state_tracks_speed(self, slope_recording):
+        trace, rec = slope_recording
+        track = estimate_gradient_ekf_baseline(rec, trace.s)
+        v_true = np.interp(track.t, trace.t, trace.v)
+        assert np.mean(np.abs(track.v - v_true)) < 0.5
+
+    def test_smoothing_reduces_error(self, slope_recording):
+        trace, rec = slope_recording
+        smoothed = estimate_gradient_ekf_baseline(
+            rec, trace.s, config=AltitudeEKFConfig(smooth=True)
+        )
+        causal = estimate_gradient_ekf_baseline(
+            rec, trace.s, config=AltitudeEKFConfig(smooth=False)
+        )
+        truth = np.radians(3.0)
+        err_s = np.mean(np.abs(smoothed.theta[200:] - truth))
+        err_c = np.mean(np.abs(causal.theta[200:] - truth))
+        assert err_s <= err_c * 1.1
+
+    def test_stride_subsamples(self, slope_recording):
+        trace, rec = slope_recording
+        full = estimate_gradient_ekf_baseline(rec, trace.s)
+        half = estimate_gradient_ekf_baseline(
+            rec, trace.s, config=AltitudeEKFConfig(stride=2)
+        )
+        assert len(half) == (len(full) + 1) // 2
+
+    def test_variance_positive(self, slope_recording):
+        trace, rec = slope_recording
+        track = estimate_gradient_ekf_baseline(rec, trace.s)
+        assert np.all(track.variance > 0.0)
+
+    def test_bad_stride(self):
+        with pytest.raises(EstimationError):
+            AltitudeEKFConfig(stride=0)
+
+    def test_track_metadata(self, slope_recording):
+        trace, rec = slope_recording
+        track = estimate_gradient_ekf_baseline(rec, trace.s, name="ekf7")
+        assert track.name == "ekf7"
+        assert track.meta["method"] == "ekf-altitude"
+
+    def test_poor_barometer_degrades_estimate(self):
+        prof = build_profile([SectionSpec.from_degrees(900.0, 3.0)], smooth_m=0.0)
+        trace = simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), seed=5)
+        rec_bad = Smartphone().record(trace, np.random.default_rng(6))  # default baro
+        phone_good = Smartphone(barometer=Barometer(noise=NoiseModel(white_std=0.3)))
+        rec_good = phone_good.record(trace, np.random.default_rng(6))
+        t_bad = estimate_gradient_ekf_baseline(rec_bad, trace.s)
+        t_good = estimate_gradient_ekf_baseline(rec_good, trace.s)
+        truth = np.radians(3.0)
+        assert np.mean(np.abs(t_bad.theta[500:] - truth)) > np.mean(
+            np.abs(t_good.theta[500:] - truth)
+        )

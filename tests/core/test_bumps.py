@@ -1,0 +1,72 @@
+"""Bump segmentation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.lane_change.bumps import find_bumps
+from repro.core.lane_change.features import LaneChangeThresholds
+from repro.errors import EstimationError
+
+TH = LaneChangeThresholds(delta=0.1, duration=0.5)
+
+
+def profile_with_bump(peak=0.15, t1=2.0, dt=0.02, pad=2.0, sign=+1):
+    t = np.arange(0.0, t1 + 2 * pad, dt)
+    w = np.zeros_like(t)
+    inside = (t >= pad) & (t < pad + t1)
+    w[inside] = sign * peak * np.sin(np.pi * (t[inside] - pad) / t1)
+    return t, w
+
+
+class TestFindBumps:
+    def test_detects_qualified_bump(self):
+        t, w = profile_with_bump(peak=0.15)
+        bumps = find_bumps(t, w, TH)
+        assert len(bumps) == 1
+        assert bumps[0].sign == +1
+        assert bumps[0].delta == pytest.approx(0.15, abs=0.003)
+
+    def test_below_delta_rejected(self):
+        t, w = profile_with_bump(peak=0.08)
+        assert find_bumps(t, w, TH) == []
+
+    def test_too_short_rejected(self):
+        t, w = profile_with_bump(peak=0.15, t1=0.4)
+        assert find_bumps(t, w, TH) == []
+
+    def test_negative_bump_sign(self):
+        t, w = profile_with_bump(sign=-1)
+        bumps = find_bumps(t, w, TH)
+        assert bumps[0].sign == -1
+
+    def test_two_separate_bumps(self):
+        t1, w1 = profile_with_bump(peak=0.15)
+        t2, w2 = profile_with_bump(peak=0.2, sign=-1)
+        t = np.concatenate([t1, t2 + t1[-1] + 0.02])
+        w = np.concatenate([w1, w2])
+        bumps = find_bumps(t, w, TH)
+        assert [b.sign for b in bumps] == [1, -1]
+        assert bumps[0].t_peak < bumps[1].t_peak
+
+    def test_indices_consistent(self):
+        t, w = profile_with_bump(peak=0.15)
+        bump = find_bumps(t, w, TH)[0]
+        assert w[bump.peak_index] == pytest.approx(bump.delta)
+        assert bump.start <= bump.peak_index < bump.end
+
+    def test_flat_profile(self):
+        t = np.arange(100) * 0.02
+        assert find_bumps(t, np.zeros(100), TH) == []
+
+    def test_short_input(self):
+        assert find_bumps(np.array([0.0, 0.1]), np.array([0.0, 0.0]), TH) == []
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            find_bumps(np.arange(5.0), np.zeros(4), TH)
+
+    def test_duration_uses_own_peak(self):
+        """T is measured against 0.7 * this bump's peak, not the threshold."""
+        t, w = profile_with_bump(peak=0.4, t1=2.0)
+        bump = find_bumps(t, w, TH)[0]
+        assert bump.duration == pytest.approx(0.506 * 2.0, abs=0.1)

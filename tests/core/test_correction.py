@@ -1,0 +1,117 @@
+"""Eq 2 longitudinal-velocity correction tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.lane_change.correction import (
+    correct_velocity_array,
+    correct_velocity_signal,
+    heading_deviation,
+)
+from repro.core.lane_change.detector import LaneChangeEvent
+from repro.errors import EstimationError
+from repro.sensors.base import SampledSignal
+
+
+def simple_event(i_start=100, i_end=300, t_per_sample=0.02):
+    return LaneChangeEvent(
+        t_start=i_start * t_per_sample,
+        t_end=(i_end - 1) * t_per_sample,
+        direction=+1,
+        displacement=3.6,
+        i_start=i_start,
+        i_end=i_end,
+    )
+
+
+@pytest.fixture()
+def steering_setup():
+    dt = 0.02
+    t = np.arange(0.0, 10.0, dt)
+    w = np.zeros_like(t)
+    # Constant steering rate inside the event: alpha ramps linearly.
+    w[100:300] = 0.05
+    return t, w
+
+
+class TestHeadingDeviation:
+    def test_zero_outside_events(self, steering_setup):
+        t, w = steering_setup
+        alpha = heading_deviation(t, w, [simple_event()])
+        assert np.all(alpha[:100] == 0.0)
+        assert np.all(alpha[300:] == 0.0)
+
+    def test_integrates_inside_event(self, steering_setup):
+        t, w = steering_setup
+        alpha = heading_deviation(t, w, [simple_event()])
+        # 199 steps of 0.05 rad/s * 0.02 s.
+        assert alpha[299] == pytest.approx(0.05 * 0.02 * 199, rel=0.02)
+
+    def test_no_events_all_zero(self, steering_setup):
+        t, w = steering_setup
+        assert np.all(heading_deviation(t, w, []) == 0.0)
+
+    def test_bad_span(self, steering_setup):
+        t, w = steering_setup
+        bad = LaneChangeEvent(0.0, 1.0, 1, 0.0, i_start=0, i_end=10_000)
+        with pytest.raises(EstimationError):
+            heading_deviation(t, w, [bad])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            heading_deviation(np.arange(5.0), np.zeros(4), [])
+
+
+class TestCorrection:
+    def test_velocity_reduced_during_event(self, steering_setup):
+        t, w = steering_setup
+        v = np.full_like(t, 12.0)
+        corrected = correct_velocity_array(t, v, t, w, [simple_event()])
+        assert np.all(corrected[150:299] < 12.0)
+        assert corrected[50] == 12.0
+
+    def test_eq2_cosine_factor(self, steering_setup):
+        t, w = steering_setup
+        v = np.full_like(t, 12.0)
+        corrected = correct_velocity_array(t, v, t, w, [simple_event()])
+        alpha = heading_deviation(t, w, [simple_event()])
+        assert corrected[250] == pytest.approx(12.0 * np.cos(alpha[250]))
+
+    def test_no_events_copy(self, steering_setup):
+        t, w = steering_setup
+        v = np.full_like(t, 12.0)
+        out = correct_velocity_array(t, v, t, w, [])
+        assert np.array_equal(out, v)
+        out[0] = 0.0
+        assert v[0] == 12.0  # a copy, not a view
+
+    def test_different_timebase_interpolated(self, steering_setup):
+        t, w = steering_setup
+        t_gps = np.arange(0.0, 10.0, 1.0)
+        v_gps = np.full_like(t_gps, 12.0)
+        corrected = correct_velocity_array(t_gps, v_gps, t, w, [simple_event()])
+        # GPS epochs at 3, 4, 5 s fall inside the event window (2-6 s).
+        assert corrected[4] < 12.0
+        assert corrected[0] == 12.0
+
+    def test_nan_stays_nan(self, steering_setup):
+        t, w = steering_setup
+        v = np.full_like(t, 12.0)
+        v[200] = np.nan
+        corrected = correct_velocity_array(t, v, t, w, [simple_event()])
+        assert np.isnan(corrected[200])
+
+
+class TestSignalWrapper:
+    def test_signal_metadata(self, steering_setup):
+        t, w = steering_setup
+        sig = SampledSignal(t=t, values=np.full_like(t, 10.0), name="speedometer")
+        out = correct_velocity_signal(sig, t, w, [simple_event()])
+        assert out.name == "speedometer"
+        assert out.meta["lane_change_corrected"] is True
+
+    def test_no_event_flag_false(self, steering_setup):
+        t, w = steering_setup
+        sig = SampledSignal(t=t, values=np.full_like(t, 10.0), name="speedometer")
+        out = correct_velocity_signal(sig, t, w, [])
+        assert out.meta["lane_change_corrected"] is False

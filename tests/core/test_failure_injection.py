@@ -1,0 +1,105 @@
+"""Failure injection: the pipeline must degrade gracefully, not crash.
+
+Adverse conditions a deployed system meets: total GPS outage, missing
+velocity sources, absurd sensor noise, very short trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GradientEstimationSystem,
+    GradientSystemConfig,
+    LaneChangeDetectorConfig,
+    LaneChangeThresholds,
+)
+from repro.errors import EstimationError, ReproError
+from repro.roads import SectionSpec, build_profile
+from repro.sensors import Smartphone
+from repro.vehicle import DriverProfile, simulate_trip
+
+TH = LaneChangeThresholds(delta=0.05, duration=0.5)
+CFG = GradientSystemConfig(detector=LaneChangeDetectorConfig(thresholds=TH))
+
+
+class TestTotalGPSOutage:
+    @pytest.fixture(scope="class")
+    def outage_setup(self):
+        prof = build_profile(
+            [SectionSpec.from_degrees(700.0, 2.0), SectionSpec.from_degrees(500.0, -2.0)],
+            gps_outages=[(0.0, 1200.0)],  # the whole route
+        )
+        trace = simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), seed=6)
+        rec = Smartphone().record(trace, np.random.default_rng(7))
+        return prof, trace, rec
+
+    def test_no_fix_at_all(self, outage_setup):
+        _, _, rec = outage_setup
+        assert rec.gps.availability == 0.0
+
+    def test_pipeline_still_estimates(self, outage_setup):
+        prof, trace, rec = outage_setup
+        # GPS velocity track is unusable; run the remaining three sources.
+        cfg = GradientSystemConfig(
+            detector=LaneChangeDetectorConfig(thresholds=TH),
+            velocity_sources=("speedometer", "accelerometer", "canbus"),
+        )
+        result = GradientEstimationSystem(prof, config=cfg).estimate(rec)
+        assert np.isfinite(result.fused.theta).all()
+        # Dead reckoning from the route start keeps positions usable.
+        truth = prof.grade_at(result.s_grid)
+        err = np.degrees(np.abs(result.fused.theta - truth))
+        assert err[result.s_grid > 100.0].mean() < 1.5
+
+    def test_gps_source_alone_fails_loudly(self, outage_setup):
+        prof, _, rec = outage_setup
+        cfg = GradientSystemConfig(
+            detector=LaneChangeDetectorConfig(thresholds=TH),
+            velocity_sources=("gps",),
+        )
+        with pytest.raises(ReproError):
+            GradientEstimationSystem(prof, config=cfg).estimate(rec)
+
+
+class TestExtremeNoise:
+    def test_10x_noise_stays_finite(self, hill_profile, hill_trace):
+        phone = Smartphone().with_noise_scale(10.0)
+        rec = phone.record(hill_trace, np.random.default_rng(8))
+        result = GradientEstimationSystem(hill_profile, config=CFG).estimate(rec)
+        assert np.isfinite(result.fused.theta).all()
+        assert np.all(np.abs(result.fused.theta) < np.pi / 3 + 1e-9)
+
+    def test_zero_noise_is_excellent(self, hill_profile, hill_trace):
+        phone = Smartphone().with_noise_scale(0.0)
+        rec = phone.record(hill_trace, np.random.default_rng(8))
+        result = GradientEstimationSystem(hill_profile, config=CFG).estimate(rec)
+        truth = hill_profile.grade_at(result.s_grid)
+        err = np.degrees(np.abs(result.fused.theta - truth))
+        assert err[result.s_grid > 80.0].mean() < 0.2
+
+
+class TestDegenerateTrips:
+    def test_trip_shorter_than_grid_rejected(self):
+        prof = build_profile([SectionSpec(40.0)])
+        trace = simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), seed=2)
+        rec = Smartphone().record(trace, np.random.default_rng(3))
+        cfg = GradientSystemConfig(
+            detector=LaneChangeDetectorConfig(thresholds=TH),
+            fusion_grid_spacing=50.0,
+        )
+        with pytest.raises(EstimationError):
+            GradientEstimationSystem(prof, config=cfg).estimate(rec)
+
+    def test_standing_start_handled(self):
+        from repro.vehicle import SimulationConfig
+
+        prof = build_profile([SectionSpec.from_degrees(500.0, 2.0)])
+        trace = simulate_trip(
+            prof,
+            DriverProfile(lane_changes_per_km=0.0),
+            config=SimulationConfig(initial_speed=0.6),
+            seed=4,
+        )
+        rec = Smartphone().record(trace, np.random.default_rng(5))
+        result = GradientEstimationSystem(prof, config=CFG).estimate(rec)
+        assert np.isfinite(result.fused.theta).all()

@@ -1,0 +1,121 @@
+"""Bump feature extraction and Table I calibration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.lane_change.features import (
+    calibrate_thresholds,
+    maneuver_features,
+    measure_bump,
+)
+from repro.errors import EstimationError
+from repro.vehicle.lateral import plan_lane_change
+
+
+def doublet(direction=+1, peak=0.12, t1=2.0, t2=2.0, dt=0.02):
+    """Clean two-lobe steering profile."""
+    t = np.arange(0.0, t1 + t2, dt)
+    w = np.where(
+        t < t1,
+        peak * np.sin(np.pi * t / t1),
+        -peak * np.sin(np.pi * (t - t1) / t2),
+    )
+    return t, direction * w
+
+
+class TestMeasureBump:
+    def test_peak_magnitude(self):
+        t, w = doublet(peak=0.15)
+        bump = measure_bump(t[:100], w[:100], +1)
+        assert bump.delta == pytest.approx(0.15, abs=0.002)
+
+    def test_duration_above_threshold(self):
+        # For a half sine, sin >= 0.7 over ~50.6 % of the lobe.
+        t, w = doublet(peak=0.2, t1=2.0)
+        bump = measure_bump(t[:100], w[:100], +1)
+        assert bump.duration == pytest.approx(0.506 * 2.0, abs=0.08)
+
+    def test_negative_bump(self):
+        t, w = doublet(direction=-1, peak=0.1)
+        bump = measure_bump(t[:100], w[:100], -1)
+        assert bump.sign == -1
+        assert bump.delta == pytest.approx(0.1, abs=0.002)
+
+    def test_missing_bump_raises(self):
+        t = np.arange(10) * 0.1
+        with pytest.raises(EstimationError):
+            measure_bump(t, -np.ones(10), +1)
+
+    def test_custom_threshold_coefficient(self):
+        t, w = doublet(peak=0.2, t1=2.0)
+        strict = measure_bump(t[:100], w[:100], +1, threshold_coeff=0.9)
+        loose = measure_bump(t[:100], w[:100], +1, threshold_coeff=0.5)
+        assert strict.duration < loose.duration
+
+
+class TestManeuverFeatures:
+    def test_left_change_order(self):
+        t, w = doublet(+1, peak=0.12)
+        feats = maneuver_features(t, w, +1)
+        assert feats.first.sign == +1
+        assert feats.second.sign == -1
+        assert feats.delta_pos == pytest.approx(0.12, abs=0.003)
+        assert feats.delta_neg == pytest.approx(0.12, abs=0.003)
+
+    def test_right_change_order(self):
+        t, w = doublet(-1, peak=0.12)
+        feats = maneuver_features(t, w, -1)
+        assert feats.first.sign == -1
+        assert feats.second.sign == +1
+
+    def test_asymmetric_peaks(self):
+        t = np.arange(0.0, 5.0, 0.02)
+        w = np.where(t < 2.0, 0.2 * np.sin(np.pi * t / 2.0), 0.0)
+        w = np.where((t >= 2.0) & (t < 5.0), -0.1 * np.sin(np.pi * (t - 2.0) / 3.0), w)
+        feats = maneuver_features(t, w, +1)
+        assert feats.delta_pos == pytest.approx(0.2, abs=0.005)
+        assert feats.delta_neg == pytest.approx(0.1, abs=0.005)
+
+    def test_real_maneuver_model(self):
+        m = plan_lane_change(11.0, +1, duration=5.0)
+        t = np.arange(0.0, m.duration, 0.02)
+        feats = maneuver_features(t, m.steering_rate(t), +1)
+        assert feats.delta_pos == pytest.approx(m.peak_rate_first, rel=0.05)
+
+    def test_single_lobe_raises(self):
+        t = np.arange(0.0, 2.0, 0.02)
+        w = 0.2 * np.sin(np.pi * t / 2.0)
+        with pytest.raises(EstimationError):
+            maneuver_features(t, np.maximum(w, 1e-6), +1)
+
+
+class TestCalibration:
+    def _features(self, peak, duration_scale=1.0, direction=+1):
+        t, w = doublet(direction, peak=peak, t1=2.0 * duration_scale, t2=2.0 * duration_scale)
+        return maneuver_features(t, w, direction)
+
+    def test_minima_selected(self):
+        left = [self._features(0.12), self._features(0.10)]
+        right = [self._features(0.15, direction=-1), self._features(0.11, direction=-1)]
+        th = calibrate_thresholds(left, right)
+        assert th.delta == pytest.approx(0.10, abs=0.003)
+
+    def test_duration_minimum(self):
+        left = [self._features(0.12, duration_scale=1.0)]
+        right = [self._features(0.12, duration_scale=0.6, direction=-1)]
+        th = calibrate_thresholds(left, right)
+        assert th.duration == pytest.approx(0.506 * 1.2, abs=0.1)
+
+    def test_table_has_eight_cells(self):
+        left = [self._features(0.12)]
+        right = [self._features(0.13, direction=-1)]
+        th = calibrate_thresholds(left, right)
+        assert set(th.table) == {
+            "delta_L+", "delta_L-", "delta_R+", "delta_R-",
+            "T_L+", "T_L-", "T_R+", "T_R-",
+        }
+
+    def test_needs_both_directions(self):
+        left = [self._features(0.12)]
+        with pytest.raises(EstimationError):
+            calibrate_thresholds(left, [])

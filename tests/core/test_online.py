@@ -1,0 +1,91 @@
+"""Streaming gradient estimator tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GRAVITY
+from repro.core.gradient_ekf import GradientEKFConfig, estimate_track
+from repro.core.online import StreamingGradientEstimator
+from repro.errors import EstimationError
+from repro.sensors.base import SampledSignal
+
+
+def synthetic(theta=0.04, v0=12.0, n=3000, dt=0.02, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    accel = GRAVITY * np.sin(theta) + rng.normal(0.0, noise, n)
+    v_meas = v0 + rng.normal(0.0, noise, n)
+    return accel, v_meas, dt
+
+
+class TestStreaming:
+    def test_converges_to_grade(self):
+        accel, v_meas, dt = synthetic(theta=0.04)
+        est = StreamingGradientEstimator(dt=dt)
+        state = None
+        for a, v in zip(accel, v_meas):
+            state = est.push(a, v)
+        assert state.theta == pytest.approx(0.04, abs=0.006)
+        assert state.updated
+
+    def test_matches_batch_engine_exactly(self):
+        accel, v_meas, dt = synthetic(n=1500, seed=3)
+        t = np.arange(len(accel)) * dt
+        track = estimate_track(
+            SampledSignal(t=t, values=accel, name="accelerometer"),
+            SampledSignal(t=t, values=v_meas, name="speedometer"),
+            12.0 * t,
+            config=GradientEKFConfig(measurement_std={"speedometer": 0.2}),
+        )
+        est = StreamingGradientEstimator(
+            dt=dt, measurement_std=0.2, v0=float(v_meas[0])
+        )
+        theta_stream = est.run(accel, v_meas)
+        assert np.allclose(theta_stream, track.theta, atol=1e-12)
+
+    def test_prediction_only_ticks(self):
+        accel, v_meas, dt = synthetic(theta=0.03)
+        est = StreamingGradientEstimator(dt=dt, v0=12.0)
+        # Velocity only once a second (GPS-like).
+        for i, a in enumerate(accel):
+            z = float(v_meas[i]) if i % 50 == 0 else None
+            state = est.push(a, z)
+        assert state.theta == pytest.approx(0.03, abs=0.01)
+
+    def test_bootstrap_from_first_measurement(self):
+        accel, v_meas, dt = synthetic()
+        est = StreamingGradientEstimator(dt=dt)
+        s1 = est.push(accel[0], None)  # no measurement yet
+        assert not s1.updated
+        s2 = est.push(accel[1], v_meas[1])
+        assert s2.updated
+        assert s2.v == pytest.approx(v_meas[1], abs=1.0)
+
+    def test_tick_counter_and_state(self):
+        est = StreamingGradientEstimator(dt=0.02, v0=10.0)
+        est.push(0.0, 10.0)
+        est.push(0.0, 10.0)
+        assert est.ticks == 2
+        assert est.state.t == pytest.approx(0.04)
+
+    def test_variance_shrinks(self):
+        accel, v_meas, dt = synthetic()
+        est = StreamingGradientEstimator(dt=dt, v0=12.0)
+        first = est.push(accel[0], v_meas[0]).theta_variance
+        for a, v in zip(accel[1:500], v_meas[1:500]):
+            last = est.push(a, v).theta_variance
+        assert last < first
+
+    def test_bad_dt(self):
+        with pytest.raises(EstimationError):
+            StreamingGradientEstimator(dt=0.0)
+
+    def test_smooth_config_rejected(self):
+        with pytest.raises(EstimationError):
+            StreamingGradientEstimator(
+                dt=0.02, config=GradientEKFConfig(smooth=True)
+            )
+
+    def test_run_shape_mismatch(self):
+        est = StreamingGradientEstimator(dt=0.02, v0=10.0)
+        with pytest.raises(EstimationError):
+            est.run(np.zeros(5), np.zeros(4))

@@ -1,0 +1,118 @@
+"""End-to-end OPS pipeline integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    GradientEstimationSystem,
+    GradientSystemConfig,
+    fuse_estimates,
+)
+from repro.core.lane_change.detector import LaneChangeDetectorConfig
+from repro.core.lane_change.features import LaneChangeThresholds
+from repro.errors import EstimationError
+
+TH = LaneChangeThresholds(delta=0.05, duration=0.5)
+
+
+@pytest.fixture(scope="module")
+def system_and_result(hill_profile, hill_recording):
+    cfg = GradientSystemConfig(detector=LaneChangeDetectorConfig(thresholds=TH))
+    system = GradientEstimationSystem(hill_profile, config=cfg)
+    return system, system.estimate(hill_recording)
+
+
+class TestEstimate:
+    def test_result_structure(self, system_and_result):
+        _, result = system_and_result
+        assert set(result.tracks) == {"gps", "speedometer", "accelerometer", "canbus"}
+        assert len(result.fused) == len(result.s_grid)
+
+    def test_fused_accuracy(self, system_and_result, hill_profile):
+        _, result = system_and_result
+        truth = hill_profile.grade_at(result.s_grid)
+        err = np.abs(result.fused.theta - truth)
+        # Skip the EKF warm-up.
+        assert np.degrees(np.mean(err[20:])) < 0.8
+
+    def test_gradient_at(self, system_and_result, hill_profile):
+        _, result = system_and_result
+        mid = result.s_grid[len(result.s_grid) // 2]
+        assert result.gradient_at(float(mid)) == pytest.approx(
+            np.interp(mid, result.fused.s, result.fused.theta)
+        )
+
+    def test_lane_changes_detected(self, system_and_result, hill_recording):
+        _, result = system_and_result
+        truth_events = hill_recording.truth.lane_change_intervals()
+        assert result.n_lane_changes >= max(1, len(truth_events) - 2)
+
+    def test_grid_within_route(self, system_and_result, hill_profile):
+        _, result = system_and_result
+        assert result.s_grid[0] >= 0.0
+        assert result.s_grid[-1] <= hill_profile.length
+
+
+class TestConfig:
+    def test_velocity_source_subset(self, hill_profile, hill_recording):
+        cfg = GradientSystemConfig(
+            detector=LaneChangeDetectorConfig(thresholds=TH),
+            velocity_sources=("speedometer",),
+        )
+        result = GradientEstimationSystem(hill_profile, config=cfg).estimate(
+            hill_recording
+        )
+        assert set(result.tracks) == {"speedometer"}
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(EstimationError):
+            GradientSystemConfig(velocity_sources=("odometer",))
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(EstimationError):
+            GradientSystemConfig(velocity_sources=())
+
+    def test_bad_grid_spacing(self):
+        with pytest.raises(EstimationError):
+            GradientSystemConfig(fusion_grid_spacing=0.0)
+
+    def test_correction_flag_changes_inputs(self, hill_profile, hill_recording):
+        on = GradientSystemConfig(detector=LaneChangeDetectorConfig(thresholds=TH))
+        off = GradientSystemConfig(
+            detector=LaneChangeDetectorConfig(thresholds=TH),
+            apply_lane_change_correction=False,
+        )
+        res_on = GradientEstimationSystem(hill_profile, config=on).estimate(hill_recording)
+        res_off = GradientEstimationSystem(hill_profile, config=off).estimate(hill_recording)
+        if res_on.events:
+            assert not np.array_equal(
+                res_on.tracks["speedometer"].theta, res_off.tracks["speedometer"].theta
+            )
+
+
+class TestCloudFusion:
+    def test_fuse_multiple_trips(self, hill_profile):
+        from repro.sensors import Smartphone
+        from repro.vehicle import DriverProfile, simulate_trip
+
+        cfg = GradientSystemConfig(detector=LaneChangeDetectorConfig(thresholds=TH))
+        system = GradientEstimationSystem(hill_profile, config=cfg)
+        results = []
+        for seed in (21, 22, 23):
+            trace = simulate_trip(
+                hill_profile, DriverProfile(lane_changes_per_km=1.0), seed=seed
+            )
+            rec = Smartphone().record(trace, np.random.default_rng(seed + 100))
+            results.append(system.estimate(rec))
+        fused = fuse_estimates(results)
+        truth = hill_profile.grade_at(fused.s)
+        err_fused = np.degrees(np.mean(np.abs(fused.theta - truth)[20:]))
+        single_truth = hill_profile.grade_at(results[0].fused.s)
+        err_single = np.degrees(
+            np.mean(np.abs(results[0].fused.theta - single_truth)[20:])
+        )
+        assert err_fused < err_single * 1.2  # fusion never much worse
+
+    def test_fuse_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            fuse_estimates([])

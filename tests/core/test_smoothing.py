@@ -1,0 +1,73 @@
+"""LOESS smoothing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lane_change.smoothing import loess_smooth, tricube_kernel
+from repro.errors import ConfigurationError
+
+
+class TestKernel:
+    def test_normalized(self):
+        assert tricube_kernel(10).sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        k = tricube_kernel(7)
+        assert np.allclose(k, k[::-1])
+
+    def test_peak_at_centre(self):
+        k = tricube_kernel(5)
+        assert np.argmax(k) == 5
+
+    def test_bad_half_window(self):
+        with pytest.raises(ConfigurationError):
+            tricube_kernel(0)
+
+
+class TestLoess:
+    def test_constant_preserved(self):
+        out = loess_smooth(np.full(200, 3.0), 20)
+        assert np.allclose(out, 3.0)
+
+    def test_linear_trend_preserved(self):
+        """Degree-1 local regression reproduces straight lines exactly."""
+        x = np.linspace(0.0, 1.0, 300)
+        out = loess_smooth(x, 25)
+        assert np.allclose(out, x, atol=1e-9)
+
+    def test_noise_reduced(self, rng):
+        noise = rng.normal(0.0, 1.0, 2000)
+        out = loess_smooth(noise, 25)
+        assert np.std(out) < 0.4 * np.std(noise)
+
+    def test_bump_peak_mostly_preserved(self):
+        t = np.linspace(0.0, 6.0, 300)
+        bump = 0.15 * np.sin(np.pi * np.clip(t - 1.0, 0.0, 2.0) / 2.0)
+        out = loess_smooth(bump, 10)
+        assert np.max(out) > 0.85 * np.max(bump)
+
+    def test_edges_not_flattened(self):
+        """A linear ramp ending at the boundary must keep its edge value."""
+        ramp = np.linspace(0.0, 1.0, 100)
+        out = loess_smooth(ramp, 15)
+        assert out[-1] == pytest.approx(1.0, abs=0.02)
+        assert out[0] == pytest.approx(0.0, abs=0.02)
+
+    def test_empty_series(self):
+        assert len(loess_smooth(np.array([]), 5)) == 0
+
+    def test_short_series(self):
+        out = loess_smooth(np.array([1.0, 2.0, 3.0]), 25)
+        assert len(out) == 3
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            loess_smooth(np.zeros((5, 5)), 2)
+
+    @given(st.floats(-10.0, 10.0), st.integers(2, 30))
+    @settings(max_examples=30)
+    def test_constant_invariance_property(self, value, half_window):
+        out = loess_smooth(np.full(120, value), half_window)
+        assert np.allclose(out, value, atol=1e-9)

@@ -1,0 +1,123 @@
+"""GradientTrack container and resampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.track import GradientTrack
+from repro.errors import EstimationError
+
+
+def make_track(n=100, theta=0.02, var=1e-4, name="x"):
+    t = np.arange(n) * 0.1
+    return GradientTrack(
+        name=name,
+        t=t,
+        s=t * 10.0,
+        theta=np.full(n, theta),
+        variance=np.full(n, var),
+        v=np.full(n, 10.0),
+    )
+
+
+class TestValidation:
+    def test_valid(self):
+        assert len(make_track()) == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            make_track(n=0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(EstimationError):
+            GradientTrack(
+                name="x",
+                t=np.arange(5.0),
+                s=np.arange(4.0),
+                theta=np.zeros(5),
+                variance=np.ones(5),
+                v=np.ones(5),
+            )
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(EstimationError):
+            GradientTrack(
+                name="x",
+                t=np.arange(3.0),
+                s=np.arange(3.0),
+                theta=np.zeros(3),
+                variance=np.array([1.0, -1.0, 1.0]),
+                v=np.ones(3),
+            )
+
+
+class TestResample:
+    def test_constant_track(self):
+        track = make_track(theta=0.05)
+        grid = np.arange(100.0, 900.0, 50.0)
+        theta, var = track.resample(grid)
+        assert np.allclose(theta, 0.05)
+        assert np.all(var > 0.0)
+
+    def test_inverse_variance_weighting_within_bin(self):
+        # Two samples land in one bin: one precise (0.0), one noisy (1.0).
+        track = GradientTrack(
+            name="x",
+            t=np.array([0.0, 1.0]),
+            s=np.array([10.0, 11.0]),
+            theta=np.array([0.0, 1.0]),
+            variance=np.array([1e-6, 1.0]),
+            v=np.ones(2),
+        )
+        theta, _ = track.resample(np.array([10.0, 30.0]), bin_width=20.0)
+        assert theta[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_empty_bins_interpolated(self):
+        track = GradientTrack(
+            name="x",
+            t=np.array([0.0, 1.0]),
+            s=np.array([0.0, 100.0]),
+            theta=np.array([0.0, 1.0]),
+            variance=np.ones(2),
+            v=np.ones(2),
+        )
+        grid = np.array([0.0, 50.0, 100.0])
+        theta, _ = track.resample(grid, bin_width=5.0)
+        assert theta[1] == pytest.approx(0.5, abs=0.05)
+
+    def test_no_overlap_raises(self):
+        track = make_track()
+        with pytest.raises(EstimationError):
+            track.resample(np.array([1e5, 2e5]))
+
+    def test_grid_too_small(self):
+        with pytest.raises(EstimationError):
+            make_track().resample(np.array([1.0]))
+
+    def test_jittered_s_handled(self):
+        """Backward jitter in s (noisy positioning) must not break binning."""
+        rng = np.random.default_rng(0)
+        n = 500
+        s = np.linspace(0, 500, n) + rng.normal(0, 2.0, n)
+        track = GradientTrack(
+            name="x",
+            t=np.arange(n) * 0.1,
+            s=s,
+            theta=np.full(n, 0.03),
+            variance=np.full(n, 1e-4),
+            v=np.full(n, 10.0),
+        )
+        grid = np.arange(50.0, 450.0, 10.0)
+        theta, _ = track.resample(grid)
+        assert np.allclose(theta, 0.03, atol=1e-6)
+
+
+class TestClipped:
+    def test_clip_range(self):
+        track = make_track()
+        clipped = track.clipped(10.0, 50.0)
+        assert clipped.s.min() >= 10.0
+        assert clipped.s.max() <= 50.0
+
+    def test_clip_everything_raises(self):
+        with pytest.raises(EstimationError):
+            make_track().clipped(1e6, 2e6)

@@ -1,0 +1,118 @@
+"""Track fusion (Eq 6) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.track import GradientTrack
+from repro.core.track_fusion import convex_combination, fuse_tracks
+from repro.errors import FusionError
+
+
+class TestConvexCombination:
+    def test_equal_variances_give_mean(self):
+        thetas = np.array([[0.0, 0.0], [1.0, 2.0]])
+        variances = np.ones((2, 2))
+        fused, var = convex_combination(thetas, variances)
+        assert fused == pytest.approx([0.5, 1.0])
+        assert var == pytest.approx([0.5, 0.5])
+
+    def test_low_variance_track_dominates(self):
+        thetas = np.array([[0.0], [1.0]])
+        variances = np.array([[1e-6], [1.0]])
+        fused, _ = convex_combination(thetas, variances)
+        assert fused[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_fused_variance_below_best_track(self):
+        variances = np.array([[0.5], [0.25]])
+        _, var = convex_combination(np.zeros((2, 1)), variances)
+        assert var[0] < 0.25
+
+    def test_eq6_closed_form(self):
+        """theta_bar = U * sum(P_k^-1 theta_k) with U = (sum P_k^-1)^-1."""
+        thetas = np.array([[0.02], [0.05], [0.01]])
+        variances = np.array([[0.1], [0.2], [0.4]])
+        fused, var = convex_combination(thetas, variances)
+        u = 1.0 / np.sum(1.0 / variances[:, 0])
+        expected = u * np.sum(thetas[:, 0] / variances[:, 0])
+        assert fused[0] == pytest.approx(expected)
+        assert var[0] == pytest.approx(u)
+
+    def test_nan_entries_excluded(self):
+        thetas = np.array([[np.nan, 1.0], [2.0, 3.0]])
+        variances = np.ones((2, 2))
+        fused, _ = convex_combination(thetas, variances)
+        assert fused[0] == pytest.approx(2.0)
+        assert fused[1] == pytest.approx(2.0)
+
+    def test_uncovered_position_raises(self):
+        thetas = np.array([[np.nan]])
+        with pytest.raises(FusionError):
+            convex_combination(thetas, np.ones((1, 1)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FusionError):
+            convex_combination(np.zeros((2, 3)), np.ones((2, 2)))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-0.2, 0.2), st.floats(1e-6, 1.0)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60)
+    def test_fused_within_track_range(self, tracks):
+        thetas = np.array([[t] for t, _ in tracks])
+        variances = np.array([[v] for _, v in tracks])
+        fused, var = convex_combination(thetas, variances)
+        assert min(t for t, _ in tracks) - 1e-9 <= fused[0] <= max(
+            t for t, _ in tracks
+        ) + 1e-9
+        assert var[0] <= min(v for _, v in tracks) + 1e-12
+
+
+def make_track(theta, var, name, n=200):
+    t = np.arange(n) * 0.1
+    return GradientTrack(
+        name=name,
+        t=t,
+        s=t * 10.0,
+        theta=np.full(n, theta),
+        variance=np.full(n, var),
+        v=np.full(n, 10.0),
+    )
+
+
+class TestFuseTracks:
+    def test_weighted_fusion_on_grid(self):
+        tracks = [make_track(0.00, 1e-4, "good"), make_track(0.10, 1e-2, "bad")]
+        grid = np.arange(10.0, 190.0, 10.0)
+        fused = fuse_tracks(tracks, grid)
+        # The good track is 100x more precise: fused stays near 0.
+        assert np.all(fused.theta < 0.01)
+        assert fused.name == "fused"
+        assert fused.meta["sources"] == ["good", "bad"]
+
+    def test_single_track_identity(self):
+        track = make_track(0.05, 1e-4, "solo")
+        grid = np.arange(10.0, 190.0, 10.0)
+        fused = fuse_tracks([track], grid)
+        assert np.allclose(fused.theta, 0.05)
+
+    def test_fused_variance_improves(self):
+        tracks = [make_track(0.02, 4e-4, "a"), make_track(0.02, 4e-4, "b")]
+        grid = np.arange(10.0, 190.0, 10.0)
+        fused = fuse_tracks(tracks, grid)
+        single, single_var = tracks[0].resample(grid)
+        assert np.all(fused.variance < single_var + 1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FusionError):
+            fuse_tracks([], np.arange(10.0))
+
+    def test_grid_preserved(self):
+        grid = np.arange(10.0, 100.0, 5.0)
+        fused = fuse_tracks([make_track(0.0, 1e-4, "a")], grid)
+        assert np.array_equal(fused.s, grid)

@@ -1,0 +1,80 @@
+"""Synthetic Charlottesville dataset tests (Table III, Fig 5, Fig 7)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.charlottesville import (
+    RED_ROUTE_SECTIONS,
+    TABLE_III,
+    city_network,
+    red_route,
+    s_curve_route,
+)
+
+
+class TestRedRoute:
+    @pytest.fixture(scope="class")
+    def route(self):
+        return red_route()
+
+    def test_total_length_2160m(self, route):
+        assert route.length == pytest.approx(2160.0, abs=1.0)
+
+    def test_seven_sections(self, route):
+        assert len(route.sections) == 7
+        assert [s.name for s in route.sections] == TABLE_III["sections"]
+
+    def test_table_iii_grade_signs(self, route):
+        assert [s.grade_sign for s in route.sections] == TABLE_III["grade_sign"]
+
+    def test_table_iii_lane_counts(self, route):
+        assert [s.lanes for s in route.sections] == TABLE_III["lanes"]
+
+    def test_grades_alternate_in_road(self, route):
+        for section, (_, grade_deg, _, _) in zip(route.sections, RED_ROUTE_SECTIONS):
+            mid = (section.s_start + section.s_end) / 2.0
+            assert np.sign(route.grade_at(mid)) == np.sign(grade_deg)
+
+    def test_deterministic(self):
+        a, b = red_route(), red_route()
+        assert np.array_equal(a.grade, b.grade)
+
+    def test_has_geographic_frame(self, route):
+        point = route.geo_at(1000.0)
+        assert point.lat == pytest.approx(38.03, abs=0.05)
+
+
+class TestCityNetwork:
+    def test_full_length_near_164_8_km(self):
+        net = city_network()
+        assert net.total_length / 1000.0 == pytest.approx(164.8, rel=0.2)
+
+    def test_target_length_scaling(self):
+        small = city_network(target_length_km=20.0)
+        assert 5.0 < small.total_length / 1000.0 < 45.0
+
+    def test_deterministic_per_seed(self):
+        a = city_network(seed=7, target_length_km=15.0)
+        b = city_network(seed=7, target_length_km=15.0)
+        assert a.total_length == pytest.approx(b.total_length)
+
+
+class TestSCurveRoute:
+    @pytest.fixture(scope="class")
+    def route(self):
+        return s_curve_route()
+
+    def test_two_lane_entry(self, route):
+        assert route.lane_count_at(100.0) == 2
+
+    def test_single_lane_s_curve(self, route):
+        assert route.lane_count_at(620.0) == 1
+
+    def test_gps_outage_over_s_curve(self, route):
+        assert route.gps_available_at(100.0)
+        assert not route.gps_available_at(600.0)
+
+    def test_s_curve_curvature_strong_enough(self, route):
+        """At ~11 m/s the S-curve must clear the calibrated bump threshold."""
+        kappa = np.abs(route.curvature_at(np.linspace(540.0, 700.0, 50)))
+        assert np.max(kappa) * 11.0 > 0.05

@@ -1,0 +1,103 @@
+"""Route/network fuel estimation tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KMH
+from repro.emissions.fuel import (
+    gradient_fuel_uplift,
+    network_fuel_map,
+    profile_fuel_rate,
+    route_fuel_gallons,
+)
+from repro.errors import ConfigurationError
+from repro.roads.generator import CityGeneratorConfig, generate_city_network
+
+V40 = 40.0 * KMH
+
+
+@pytest.fixture(scope="module")
+def tiny_city():
+    return generate_city_network(CityGeneratorConfig(nx_nodes=4, ny_nodes=3, seed=8))
+
+
+class TestProfileFuelRate:
+    def test_flat_profile(self):
+        rate = profile_fuel_rate(np.zeros(10), V40)
+        assert np.allclose(rate, rate[0])
+
+    def test_both_directions_at_least_one_way(self):
+        theta = np.full(10, np.radians(3.0))
+        one_way = profile_fuel_rate(theta, V40, both_directions=False)
+        both = profile_fuel_rate(theta, V40, both_directions=True)
+        assert np.all(both < one_way)  # downhill direction pulls the mean down
+        assert np.all(both > profile_fuel_rate(np.zeros(10), V40))
+
+
+class TestRouteFuel:
+    def test_longer_route_more_fuel(self):
+        s_short = np.linspace(0, 1000, 100)
+        s_long = np.linspace(0, 2000, 100)
+        f_short = route_fuel_gallons(np.zeros(100), s_short, V40)
+        f_long = route_fuel_gallons(np.zeros(100), s_long, V40)
+        assert f_long == pytest.approx(2.0 * f_short, rel=1e-6)
+
+    def test_matches_rate_times_time(self):
+        s = np.linspace(0, 40_000, 200)  # one hour at 40 km/h
+        fuel = route_fuel_gallons(np.zeros(200), s, V40)
+        from repro.emissions.vsp import FuelModel
+
+        assert fuel == pytest.approx(FuelModel().rate_gph(V40), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            route_fuel_gallons(np.zeros(5), np.zeros(4), V40)
+        with pytest.raises(ConfigurationError):
+            route_fuel_gallons(np.zeros(5), np.arange(5.0), 0.0)
+
+
+class TestUplift:
+    def test_hilly_route_uplift_positive(self):
+        s = np.linspace(0, 4000, 400)
+        theta = np.radians(2.5) * np.sin(2 * np.pi * s / 1000.0)
+        with_g, flat, uplift = gradient_fuel_uplift(theta, s, V40)
+        assert with_g > flat
+        assert uplift > 0.1
+
+    def test_flat_route_zero_uplift(self):
+        s = np.linspace(0, 4000, 400)
+        _, _, uplift = gradient_fuel_uplift(np.zeros(400), s, V40)
+        assert uplift == pytest.approx(0.0, abs=1e-9)
+
+    def test_steeper_terrain_larger_uplift(self):
+        s = np.linspace(0, 4000, 400)
+        gentle = np.radians(1.0) * np.sin(2 * np.pi * s / 1000.0)
+        steep = np.radians(3.0) * np.sin(2 * np.pi * s / 1000.0)
+        _, _, u_gentle = gradient_fuel_uplift(gentle, s, V40)
+        _, _, u_steep = gradient_fuel_uplift(steep, s, V40)
+        assert u_steep > u_gentle
+
+
+class TestNetworkMap:
+    def test_summary_per_edge(self, tiny_city):
+        summaries = network_fuel_map(tiny_city, V40)
+        assert len(summaries) == sum(1 for _ in tiny_city.edges())
+        assert all(s.fuel_rate_gph > 0 for s in summaries)
+
+    def test_steeper_roads_burn_more(self, tiny_city):
+        summaries = network_fuel_map(tiny_city, V40)
+        by_grade = sorted(summaries, key=lambda s: s.mean_abs_grade)
+        low = np.mean([s.fuel_rate_gph for s in by_grade[: len(by_grade) // 3]])
+        high = np.mean([s.fuel_rate_gph for s in by_grade[-len(by_grade) // 3 :]])
+        assert high > low
+
+    def test_gradient_lookup_override(self, tiny_city):
+        flat = network_fuel_map(
+            tiny_city, V40, gradient_lookup=lambda e: np.zeros(len(e.profile.s))
+        )
+        rates = np.array([s.fuel_rate_gph for s in flat])
+        assert np.ptp(rates) < 1e-9  # all edges identical when flat
+
+    def test_speed_validation(self, tiny_city):
+        with pytest.raises(ConfigurationError):
+            network_fuel_map(tiny_city, 0.0)

@@ -1,0 +1,89 @@
+"""Emission factor and traffic-weighted map tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KMH
+from repro.emissions.pollution import CO2, PM25, EmissionFactor, emission_grams
+from repro.emissions.traffic import hourly_flow_from_aadt, network_emission_map
+from repro.errors import ConfigurationError
+from repro.roads.generator import CityGeneratorConfig, generate_city_network
+
+V40 = 40.0 * KMH
+
+
+class TestFactors:
+    def test_paper_constants(self):
+        assert CO2.grams_per_gallon == 8908.0
+        assert PM25.grams_per_gallon == 0.084
+
+    def test_emission_proportional_to_fuel(self):
+        assert emission_grams(2.0) == pytest.approx(2.0 * 8908.0)
+        assert emission_grams(1.0, PM25) == pytest.approx(0.084)
+
+    def test_rate_conversion(self):
+        assert CO2.rate_g_per_hour(0.5) == pytest.approx(4454.0)
+
+    def test_vectorized(self):
+        out = emission_grams(np.array([1.0, 2.0]))
+        assert out[1] == pytest.approx(2.0 * out[0])
+
+    def test_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            EmissionFactor("x", 0.0)
+
+
+class TestTraffic:
+    def test_flow_conversion(self):
+        assert hourly_flow_from_aadt(2400.0) == pytest.approx(100.0)
+
+    def test_peak_factor(self):
+        assert hourly_flow_from_aadt(2400.0, peak_factor=2.0) == pytest.approx(200.0)
+
+    def test_negative_aadt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hourly_flow_from_aadt(-1.0)
+
+
+class TestEmissionMap:
+    @pytest.fixture(scope="class")
+    def tiny_city(self):
+        return generate_city_network(CityGeneratorConfig(nx_nodes=4, ny_nodes=3, seed=8))
+
+    def test_per_edge_summaries(self, tiny_city):
+        out = network_emission_map(tiny_city, V40)
+        assert len(out) == sum(1 for _ in tiny_city.edges())
+        assert all(s.emission_tons_per_km_hour > 0 for s in out)
+
+    def test_emission_scales_with_traffic(self, tiny_city):
+        out = network_emission_map(tiny_city, V40)
+        arterial = [s for s in out if s.road_class == "arterial"]
+        residential = [s for s in out if s.road_class == "residential"]
+        assert np.mean([s.emission_tons_per_km_hour for s in arterial]) > np.mean(
+            [s.emission_tons_per_km_hour for s in residential]
+        )
+
+    def test_intensity_independent_of_length(self, tiny_city):
+        """Per-km intensity shouldn't correlate strongly with edge length."""
+        out = network_emission_map(tiny_city, V40)
+        lengths = np.array([s.length for s in out])
+        intensity = np.array([s.emission_tons_per_km_hour for s in out])
+        corr = abs(np.corrcoef(lengths, intensity)[0, 1])
+        assert corr < 0.6
+
+    def test_distribution_differs_from_fuel_map(self, tiny_city):
+        """Fig 10(b) point: emission ranking != fuel ranking (traffic)."""
+        from repro.emissions.fuel import network_fuel_map
+
+        fuel = {s.edge_key: s.fuel_rate_gph for s in network_fuel_map(tiny_city, V40)}
+        emis = {
+            s.edge_key: s.emission_tons_per_km_hour
+            for s in network_emission_map(tiny_city, V40)
+        }
+        fuel_rank = sorted(fuel, key=fuel.get)
+        emis_rank = sorted(emis, key=emis.get)
+        assert fuel_rank != emis_rank
+
+    def test_speed_validation(self, tiny_city):
+        with pytest.raises(ConfigurationError):
+            network_emission_map(tiny_city, 0.0)

@@ -1,0 +1,80 @@
+"""VSP fuel model tests (Eq 7)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KMH
+from repro.emissions.vsp import FuelModel, fuel_rate_gph
+from repro.errors import ConfigurationError
+from repro.vehicle.params import TABLE_II
+
+
+class TestRate:
+    def test_flat_city_speed_about_one_gph(self):
+        # The SI calibration targets ~1 gal/h for the paper's sedan at 40 km/h.
+        assert FuelModel().rate_gph(40.0 * KMH) == pytest.approx(1.0, rel=0.1)
+
+    def test_uphill_burns_more(self):
+        model = FuelModel()
+        v = 40.0 * KMH
+        assert model.rate_gph(v, np.radians(3.0)) > 2.0 * model.rate_gph(v)
+
+    def test_downhill_clamped_to_idle(self):
+        model = FuelModel()
+        assert model.rate_gph(40.0 * KMH, np.radians(-4.0)) == model.idle_rate_gph
+
+    def test_acceleration_term(self):
+        model = FuelModel()
+        v = 40.0 * KMH
+        assert model.rate_gph(v, 0.0, 1.0) > model.rate_gph(v, 0.0, 0.0)
+
+    def test_vectorized(self):
+        out = FuelModel().rate_gph(np.array([5.0, 10.0]), np.zeros(2), np.zeros(2))
+        assert out.shape == (2,)
+        assert out[1] > out[0]
+
+    def test_module_level_helper(self):
+        assert fuel_rate_gph(10.0) == FuelModel().rate_gph(10.0)
+
+    def test_asymmetry_creates_net_uplift(self):
+        """mean(rate(+g), rate(-g)) > rate(0): the +33.4 % mechanism."""
+        model = FuelModel()
+        v = 40.0 * KMH
+        theta = np.radians(2.5)
+        both = 0.5 * (model.rate_gph(v, theta) + model.rate_gph(v, -theta))
+        assert both > model.rate_gph(v, 0.0)
+
+
+class TestTripFuel:
+    def test_integral(self):
+        model = FuelModel()
+        n = 3600  # one hour at 1 Hz
+        v = np.full(n, 40.0 * KMH)
+        fuel = model.trip_fuel_gallons(v, np.zeros(n), np.zeros(n), dt=1.0)
+        assert fuel == pytest.approx(model.rate_gph(40.0 * KMH), rel=0.01)
+
+    def test_bad_dt(self):
+        with pytest.raises(ConfigurationError):
+            FuelModel().trip_fuel_gallons(np.ones(5), np.zeros(5), np.zeros(5), dt=0.0)
+
+    def test_fuel_per_100km(self):
+        model = FuelModel()
+        per100 = model.fuel_per_100km(40.0 * KMH)
+        # ~1 gal/h at 40 km/h -> 2.5 h per 100 km -> ~2.5 gal/100km.
+        assert per100 == pytest.approx(2.5, rel=0.15)
+
+    def test_fuel_per_100km_needs_speed(self):
+        with pytest.raises(ConfigurationError):
+            FuelModel().fuel_per_100km(0.0)
+
+
+class TestConfiguration:
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FuelModel(idle_rate_gph=-0.1)
+
+    def test_table_ii_usable_explicitly(self):
+        """The verbatim Table II runs (for the record) even though its
+        absolute scale is unphysical in SI units."""
+        model = FuelModel(coefficients=TABLE_II)
+        assert model.rate_gph(40.0 * KMH) > 0.0

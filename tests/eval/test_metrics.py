@@ -1,0 +1,112 @@
+"""Evaluation metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.eval.metrics import (
+    DetectionScore,
+    absolute_errors,
+    cdf_value_at,
+    error_cdf,
+    mean_absolute_error,
+    mean_relative_error,
+    score_lane_change_detection,
+)
+
+
+class TestErrors:
+    def test_absolute(self):
+        err = absolute_errors(np.array([0.1, 0.2]), np.array([0.15, 0.1]))
+        assert err == pytest.approx([0.05, 0.1])
+
+    def test_degrees_flag(self):
+        err = absolute_errors(np.array([np.radians(2.0)]), np.zeros(1), degrees=True)
+        assert err[0] == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            absolute_errors(np.zeros(3), np.zeros(4))
+
+    def test_mean_ignores_nan(self):
+        est = np.array([0.1, np.nan, 0.3])
+        truth = np.zeros(3)
+        assert mean_absolute_error(est, truth) == pytest.approx(0.2)
+
+    def test_mre_ratio_of_means(self):
+        est = np.array([0.11, -0.09])
+        truth = np.array([0.10, -0.10])
+        assert mean_relative_error(est, truth) == pytest.approx(0.1)
+
+    def test_mre_flat_reference_rejected(self):
+        with pytest.raises(EstimationError):
+            mean_relative_error(np.ones(5), np.zeros(5))
+
+
+class TestCDF:
+    def test_sorted_values_and_fractions(self):
+        values, fractions = error_cdf(np.array([0.3, 0.1, 0.2]))
+        assert values.tolist() == [0.1, 0.2, 0.3]
+        assert fractions.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_median_via_cdf(self):
+        errors = np.linspace(0.0, 1.0, 101)
+        assert cdf_value_at(errors, 0.5) == pytest.approx(0.5, abs=0.02)
+
+    def test_bad_fraction(self):
+        with pytest.raises(EstimationError):
+            cdf_value_at(np.ones(5), 0.0)
+
+    def test_empty_errors(self):
+        with pytest.raises(EstimationError):
+            error_cdf(np.array([np.nan]))
+
+
+class TestDetectionScore:
+    def test_perfect(self):
+        truth = [(10.0, 15.0, +1)]
+        detected = [(10.5, 14.0, +1)]
+        score = score_lane_change_detection(detected, truth)
+        assert score.true_positives == 1
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_missed(self):
+        score = score_lane_change_detection([], [(10.0, 15.0, +1)])
+        assert score.false_negatives == 1
+        assert score.recall == 0.0
+        assert score.precision == 1.0  # nothing detected, nothing wrong
+
+    def test_false_positive(self):
+        score = score_lane_change_detection([(50.0, 55.0, +1)], [])
+        assert score.false_positives == 1
+        assert score.precision == 0.0
+
+    def test_direction_error_still_matches(self):
+        score = score_lane_change_detection([(10.0, 15.0, -1)], [(10.0, 15.0, +1)])
+        assert score.true_positives == 1
+        assert score.direction_errors == 1
+
+    def test_tolerance_window(self):
+        truth = [(10.0, 15.0, +1)]
+        near = [(16.0, 18.0, +1)]  # 1 s past the end, within 3 s tolerance
+        far = [(30.0, 32.0, +1)]
+        assert score_lane_change_detection(near, truth).true_positives == 1
+        assert score_lane_change_detection(far, truth).true_positives == 0
+
+    def test_one_truth_matches_once(self):
+        truth = [(10.0, 15.0, +1)]
+        detected = [(10.0, 12.0, +1), (13.0, 15.0, +1)]
+        score = score_lane_change_detection(detected, truth)
+        assert score.true_positives == 1
+        assert score.false_positives == 1
+
+    def test_f1_zero_when_empty(self):
+        score = DetectionScore(0, 5, 5, 0)
+        assert score.f1 == 0.0
+
+    def test_empty_everything_perfect(self):
+        score = score_lane_change_detection([], [])
+        assert score.precision == 1.0
+        assert score.recall == 1.0

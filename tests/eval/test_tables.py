@@ -1,0 +1,51 @@
+"""Table rendering tests."""
+
+import numpy as np
+
+from repro.eval.tables import format_value, render_series, render_table
+
+
+class TestFormat:
+    def test_float_precision(self):
+        assert format_value(1.23456, precision=2) == "1.23"
+
+    def test_numpy_float(self):
+        assert format_value(np.float64(2.5), precision=1) == "2.5"
+
+    def test_passthrough_strings(self):
+        assert format_value("ops") == "ops"
+
+    def test_int(self):
+        assert format_value(7) == "7"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [3, 4.125]], precision=2)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "4.12" in lines[-1]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["x"], ["longer"]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestRenderSeries:
+    def test_downsampling(self):
+        x = np.arange(1000.0)
+        out = render_series(x, {"y": x * 2}, max_rows=10)
+        rows = out.splitlines()[2:]
+        assert len(rows) == 10
+
+    def test_all_series_present(self):
+        x = np.arange(10.0)
+        out = render_series(x, {"a": x, "b": -x}, x_label="s")
+        header = out.splitlines()[0]
+        assert "s" in header and "a" in header and "b" in header

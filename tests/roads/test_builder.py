@@ -1,0 +1,118 @@
+"""Section-spec road builder tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roads.builder import SectionSpec, build_profile, s_curve_specs
+
+
+class TestSectionSpec:
+    def test_from_degrees(self):
+        spec = SectionSpec.from_degrees(100.0, 2.0, 2, 10.0)
+        assert spec.grade == pytest.approx(math.radians(2.0))
+        assert spec.turn == pytest.approx(math.radians(10.0))
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            SectionSpec(0.0, 0.0)
+
+    def test_rejects_cliff_grade(self):
+        with pytest.raises(ConfigurationError):
+            SectionSpec(100.0, 1.0)  # 1 rad ~ 57 degrees
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ConfigurationError):
+            SectionSpec(100.0, 0.0, lanes=0)
+
+
+class TestBuildProfile:
+    def test_total_length(self):
+        prof = build_profile([SectionSpec(300.0), SectionSpec(200.0)])
+        assert prof.length == pytest.approx(500.0)
+
+    def test_grade_mid_section(self):
+        prof = build_profile(
+            [SectionSpec.from_degrees(400.0, 2.0), SectionSpec.from_degrees(400.0, -3.0)]
+        )
+        assert prof.grade_at(200.0) == pytest.approx(math.radians(2.0), abs=1e-4)
+        assert prof.grade_at(600.0) == pytest.approx(math.radians(-3.0), abs=1e-4)
+
+    def test_grade_is_continuous_at_joints(self):
+        prof = build_profile(
+            [SectionSpec.from_degrees(300.0, 3.0), SectionSpec.from_degrees(300.0, -3.0)],
+            smooth_m=25.0,
+        )
+        # No jumps bigger than a smooth transition allows per metre.
+        max_step = np.max(np.abs(np.diff(prof.grade)))
+        assert max_step < math.radians(6.0) / 20.0
+
+    def test_elevation_consistent_with_grade(self):
+        prof = build_profile([SectionSpec.from_degrees(500.0, 2.5)])
+        dz = prof.z[-1] - prof.z[0]
+        assert dz == pytest.approx(500.0 * math.tan(math.radians(2.5)), rel=0.01)
+
+    def test_turn_integrates_into_heading(self):
+        prof = build_profile(
+            [SectionSpec.from_degrees(400.0, 0.0, turn_deg=30.0)], smooth_m=0.0
+        )
+        assert prof.heading[-1] - prof.heading[0] == pytest.approx(
+            math.radians(30.0), rel=0.01
+        )
+
+    def test_lane_counts_follow_specs(self):
+        prof = build_profile(
+            [SectionSpec(300.0, lanes=1), SectionSpec(300.0, lanes=3)]
+        )
+        assert prof.lane_count_at(100.0) == 1
+        assert prof.lane_count_at(450.0) == 3
+
+    def test_sections_metadata(self):
+        prof = build_profile(
+            [SectionSpec(300.0, 0.01, name="a"), SectionSpec(200.0, -0.01, name="b")]
+        )
+        assert [s.name for s in prof.sections] == ["a", "b"]
+        assert prof.sections[1].s_start == pytest.approx(300.0)
+
+    def test_needs_specs(self):
+        with pytest.raises(ConfigurationError):
+            build_profile([])
+
+    def test_bad_spacing(self):
+        with pytest.raises(ConfigurationError):
+            build_profile([SectionSpec(100.0)], spacing=0.0)
+
+    def test_start_conditions(self):
+        prof = build_profile(
+            [SectionSpec(100.0)],
+            start_xy=(10.0, 20.0),
+            start_heading=math.pi / 2,
+            start_elevation=50.0,
+        )
+        assert prof.xy[0] == pytest.approx([10.0, 20.0])
+        assert prof.z[0] == pytest.approx(50.0)
+        # Heading north: the route extends in +y.
+        assert prof.xy[-1][1] > 90.0
+
+    def test_gps_outages_pass_through(self):
+        prof = build_profile([SectionSpec(300.0)], gps_outages=[(50.0, 100.0)])
+        assert not prof.gps_available_at(75.0)
+
+
+class TestSCurve:
+    def test_s_curve_has_two_opposite_turns(self):
+        specs = s_curve_specs(length=200.0, sweep_deg=30.0)
+        assert len(specs) == 2
+        assert specs[0].turn == pytest.approx(-specs[1].turn)
+
+    def test_s_curve_net_heading_zero(self):
+        prof = build_profile(s_curve_specs(200.0, 40.0), smooth_m=0.0)
+        assert prof.heading[-1] == pytest.approx(prof.heading[0], abs=0.02)
+
+    def test_s_curve_lateral_offset_large(self):
+        prof = build_profile(s_curve_specs(240.0, 45.0), smooth_m=10.0)
+        # The S-curve displaces the road laterally far more than a lane width.
+        lateral = abs(prof.xy[-1][1] - prof.xy[0][1])
+        assert lateral > 3.0 * 3.65

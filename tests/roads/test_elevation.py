@@ -1,0 +1,95 @@
+"""Terrain field tests: determinism, amplitude, analytic gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.roads.elevation import ConstantSlopeField, ElevationField, FlatField
+
+
+class TestElevationField:
+    def test_deterministic_for_seed(self):
+        a = ElevationField(seed=3)
+        b = ElevationField(seed=3)
+        x = np.linspace(0, 5000, 50)
+        assert np.array_equal(a.elevation(x, x), b.elevation(x, x))
+
+    def test_different_seeds_differ(self):
+        x = np.linspace(0, 5000, 50)
+        a = ElevationField(seed=3).elevation(x, x)
+        b = ElevationField(seed=4).elevation(x, x)
+        assert not np.allclose(a, b)
+
+    def test_rms_amplitude_near_target(self):
+        field = ElevationField(amplitude=6.0, seed=5)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 50_000, 4000)
+        y = rng.uniform(0, 50_000, 4000)
+        z = field.elevation(x, y) - field.base_elevation
+        assert np.sqrt(np.mean(z**2)) == pytest.approx(6.0, rel=0.25)
+
+    def test_mean_near_base_elevation(self):
+        field = ElevationField(seed=5)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 100_000, 5000)
+        y = rng.uniform(0, 100_000, 5000)
+        assert np.mean(field.elevation(x, y)) == pytest.approx(
+            field.base_elevation, abs=1.0
+        )
+
+    @given(st.floats(0, 10_000), st.floats(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_analytic_gradient_matches_finite_difference(self, x, y):
+        field = ElevationField(seed=9)
+        eps = 0.05
+        dzdx, dzdy = field.gradient(np.array([x]), np.array([y]))
+        fd_x = (
+            field.elevation(np.array([x + eps]), np.array([y]))
+            - field.elevation(np.array([x - eps]), np.array([y]))
+        ) / (2 * eps)
+        fd_y = (
+            field.elevation(np.array([x]), np.array([y + eps]))
+            - field.elevation(np.array([x]), np.array([y - eps]))
+        ) / (2 * eps)
+        assert dzdx[0] == pytest.approx(fd_x[0], abs=1e-5)
+        assert dzdy[0] == pytest.approx(fd_y[0], abs=1e-5)
+
+    def test_slopes_are_road_like(self):
+        field = ElevationField(seed=11)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 50_000, 5000)
+        y = rng.uniform(0, 50_000, 5000)
+        dzdx, dzdy = field.gradient(x, y)
+        slope = np.hypot(dzdx, dzdy)
+        # City-scale hills: max slope should stay below ~20 %.
+        assert np.max(slope) < 0.20
+
+    def test_needs_waves(self):
+        with pytest.raises(ConfigurationError):
+            ElevationField(n_waves=0)
+
+    def test_bad_wavelengths(self):
+        with pytest.raises(ConfigurationError):
+            ElevationField(wavelength_range=(100.0, 50.0))
+
+
+class TestConstantSlopeField:
+    def test_elevation_linear(self):
+        field = ConstantSlopeField(slope_x=0.02, slope_y=-0.01, base_elevation=10.0)
+        assert field.elevation(np.array([100.0]), np.array([50.0]))[0] == pytest.approx(
+            10.0 + 2.0 - 0.5
+        )
+
+    def test_gradient_constant(self):
+        field = ConstantSlopeField(slope_x=0.02, slope_y=-0.01)
+        gx, gy = field.gradient(np.zeros(3), np.zeros(3))
+        assert np.all(gx == 0.02)
+        assert np.all(gy == -0.01)
+
+    def test_flat_field(self):
+        field = FlatField(base_elevation=5.0)
+        assert field.elevation(np.array([1.0]), np.array([2.0]))[0] == 5.0
+        gx, gy = field.gradient(np.array([1.0]), np.array([2.0]))
+        assert gx[0] == 0.0 and gy[0] == 0.0

@@ -1,0 +1,75 @@
+"""GeoJSON export tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import RouteError
+from repro.roads.export import dumps_geojson, network_to_geojson, profile_to_geojson
+from repro.roads.generator import CityGeneratorConfig, generate_city_network
+
+
+class TestProfileExport:
+    def test_segmented_features(self, hill_profile):
+        fc = profile_to_geojson(hill_profile, spacing=100.0)
+        assert fc["type"] == "FeatureCollection"
+        assert len(fc["features"]) >= 10
+        feature = fc["features"][0]
+        assert feature["geometry"]["type"] == "LineString"
+        assert len(feature["geometry"]["coordinates"]) == 2
+        assert "grade_deg" in feature["properties"]
+
+    def test_grade_property_matches_profile(self, hill_profile):
+        fc = profile_to_geojson(hill_profile, spacing=50.0)
+        mid_feature = fc["features"][len(fc["features"]) // 4]
+        s = mid_feature["properties"]["s_m"]
+        expected = np.degrees(hill_profile.grade_at(s + 25.0))
+        assert mid_feature["properties"]["grade_deg"] == pytest.approx(
+            expected, abs=0.5
+        )
+
+    def test_whole_route_feature(self, hill_profile):
+        fc = profile_to_geojson(hill_profile, segment_values=False)
+        assert len(fc["features"]) == 1
+        props = fc["features"][0]["properties"]
+        assert props["length_m"] == pytest.approx(hill_profile.length)
+
+    def test_custom_values_attached(self, hill_profile):
+        fuel = np.linspace(1.0, 2.0, len(hill_profile.s))
+        fc = profile_to_geojson(hill_profile, values={"fuel_gph": fuel}, spacing=100.0)
+        assert "fuel_gph" in fc["features"][0]["properties"]
+
+    def test_bad_value_shape(self, hill_profile):
+        with pytest.raises(RouteError):
+            profile_to_geojson(hill_profile, values={"x": np.zeros(3)})
+
+    def test_coordinates_are_geographic(self, hill_profile):
+        fc = profile_to_geojson(hill_profile, spacing=200.0)
+        lon, lat = fc["features"][0]["geometry"]["coordinates"][0]
+        assert -180.0 <= lon <= 180.0
+        assert -90.0 <= lat <= 90.0
+
+    def test_json_serializable(self, hill_profile):
+        text = dumps_geojson(profile_to_geojson(hill_profile, spacing=150.0))
+        assert json.loads(text)["type"] == "FeatureCollection"
+
+
+class TestNetworkExport:
+    def test_one_feature_per_road(self):
+        net = generate_city_network(CityGeneratorConfig(nx_nodes=3, ny_nodes=3, seed=4))
+        fc = network_to_geojson(net)
+        assert len(fc["features"]) == sum(1 for _ in net.edges())
+        props = fc["features"][0]["properties"]
+        assert "road_class" in props and "aadt" in props
+
+    def test_edge_values_merged(self):
+        net = generate_city_network(CityGeneratorConfig(nx_nodes=3, ny_nodes=3, seed=4))
+        edge = next(net.edges())
+        fc = network_to_geojson(
+            net, edge_values={(edge.u, edge.v): {"fuel_gph": 1.5}}
+        )
+        tagged = [
+            f for f in fc["features"] if f["properties"].get("fuel_gph") == 1.5
+        ]
+        assert len(tagged) == 1

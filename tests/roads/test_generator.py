@@ -1,0 +1,64 @@
+"""Synthetic city generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roads.generator import CityGeneratorConfig, generate_city_network
+
+SMALL = CityGeneratorConfig(nx_nodes=5, ny_nodes=4, seed=2)
+
+
+@pytest.fixture(scope="module")
+def small_city():
+    return generate_city_network(SMALL)
+
+
+class TestGenerator:
+    def test_deterministic(self, small_city):
+        again = generate_city_network(SMALL)
+        assert small_city.total_length == pytest.approx(again.total_length)
+        assert small_city.graph.number_of_edges() == again.graph.number_of_edges()
+
+    def test_node_count(self, small_city):
+        assert small_city.graph.number_of_nodes() == 20
+
+    def test_connected(self, small_city):
+        import networkx as nx
+
+        assert nx.is_strongly_connected(small_city.graph)
+
+    def test_road_classes_and_lanes(self, small_city):
+        classes = {e.road_class for e in small_city.edges()}
+        assert classes <= {"arterial", "collector", "residential"}
+        for edge in small_city.edges():
+            expected = 2 if edge.road_class in ("arterial", "collector") else 1
+            assert np.all(edge.profile.lanes == expected)
+
+    def test_aadt_positive(self, small_city):
+        assert all(e.aadt > 0 for e in small_city.edges())
+
+    def test_arterials_carry_more_traffic(self, small_city):
+        arterial = [e.aadt for e in small_city.edges() if e.road_class == "arterial"]
+        residential = [e.aadt for e in small_city.edges() if e.road_class == "residential"]
+        assert min(arterial) > max(residential)
+
+    def test_full_city_length_near_paper(self):
+        net = generate_city_network()
+        # Paper: 164.80 km of Charlottesville roads.
+        assert 120.0 < net.total_length / 1000.0 < 210.0
+
+    def test_grades_are_road_like(self, small_city):
+        worst = max(np.max(np.abs(e.profile.grade)) for e in small_city.edges())
+        assert worst < np.radians(12.0)
+
+    def test_some_gps_outages_exist_in_full_city(self):
+        net = generate_city_network()
+        n_outages = sum(len(e.profile.gps_outages) for e in net.edges())
+        assert n_outages > 0
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            CityGeneratorConfig(nx_nodes=1)
+        with pytest.raises(ConfigurationError):
+            CityGeneratorConfig(edge_keep_probability=0.0)

@@ -1,0 +1,202 @@
+"""Geodesy and polyline unit tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.roads.geometry import (
+    GeoPoint,
+    LocalFrame,
+    Polyline,
+    east_angle,
+    haversine_m,
+    unwrap_angles,
+    wrap_angle,
+)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(38.03, -78.48, 180.0)
+        assert p.lat == 38.03
+
+    def test_latitude_out_of_range(self):
+        with pytest.raises(GeometryError):
+            GeoPoint(91.0, 0.0)
+
+    def test_longitude_out_of_range(self):
+        with pytest.raises(GeometryError):
+            GeoPoint(0.0, 200.0)
+
+    def test_default_altitude_zero(self):
+        assert GeoPoint(0.0, 0.0).alt == 0.0
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(38.0, -78.0)
+        assert haversine_m(p, p) == 0.0
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(38.0, -78.0)
+        b = GeoPoint(39.0, -78.0)
+        # One degree of latitude is ~111.2 km.
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=0.01)
+
+    def test_symmetry(self):
+        a = GeoPoint(38.0, -78.0)
+        b = GeoPoint(38.5, -78.3)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        assert wrap_angle(1.0) == pytest.approx(1.0)
+
+    def test_wraps_above_pi(self):
+        assert wrap_angle(math.pi + 0.5) == pytest.approx(-math.pi + 0.5)
+
+    def test_wraps_below_minus_pi(self):
+        assert wrap_angle(-math.pi - 0.5) == pytest.approx(math.pi - 0.5)
+
+    @given(st.floats(-100.0, 100.0))
+    def test_always_in_half_open_interval(self, angle):
+        wrapped = wrap_angle(angle)
+        assert -math.pi < wrapped <= math.pi
+
+    @given(st.floats(-50.0, 50.0))
+    def test_wrap_preserves_angle_mod_2pi(self, angle):
+        wrapped = wrap_angle(angle)
+        assert math.isclose(
+            math.cos(wrapped - angle), 1.0, abs_tol=1e-9
+        )
+
+    def test_unwrap_removes_jumps(self):
+        raw = np.array([3.0, -3.0, 3.0])  # jumps of ~2*pi
+        unwrapped = unwrap_angles(raw)
+        assert np.all(np.abs(np.diff(unwrapped)) < math.pi)
+
+
+class TestEastAngle:
+    def test_east_is_zero(self):
+        assert east_angle(1.0, 0.0) == 0.0
+
+    def test_north_is_half_pi(self):
+        assert east_angle(0.0, 1.0) == pytest.approx(math.pi / 2)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(GeometryError):
+            east_angle(0.0, 0.0)
+
+
+class TestLocalFrame:
+    def test_round_trip(self):
+        frame = LocalFrame(GeoPoint(38.03, -78.48, 180.0))
+        p = GeoPoint(38.05, -78.45, 195.0)
+        e, n, u = frame.to_enu(p)
+        back = frame.to_geo(e, n, u)
+        assert back.lat == pytest.approx(p.lat, abs=1e-9)
+        assert back.lon == pytest.approx(p.lon, abs=1e-9)
+        assert back.alt == pytest.approx(p.alt, abs=1e-9)
+
+    def test_origin_maps_to_zero(self):
+        origin = GeoPoint(38.0, -78.0, 100.0)
+        frame = LocalFrame(origin)
+        assert frame.to_enu(origin) == (0.0, 0.0, 0.0)
+
+    def test_pole_rejected(self):
+        with pytest.raises(GeometryError):
+            LocalFrame(GeoPoint(90.0, 0.0))
+
+    def test_enu_distance_matches_haversine(self):
+        frame = LocalFrame(GeoPoint(38.0, -78.0))
+        p = GeoPoint(38.01, -78.01)
+        e, n, _ = frame.to_enu(p)
+        assert math.hypot(e, n) == pytest.approx(
+            haversine_m(frame.origin, p), rel=1e-3
+        )
+
+    @given(
+        st.floats(-0.05, 0.05),
+        st.floats(-0.05, 0.05),
+    )
+    @settings(max_examples=50)
+    def test_array_round_trip(self, dlat, dlon):
+        frame = LocalFrame(GeoPoint(38.0, -78.0))
+        lat = np.array([38.0 + dlat])
+        lon = np.array([-78.0 + dlon])
+        e, n = frame.to_enu_array(lat, lon)
+        lat2, lon2 = frame.to_geo_array(e, n)
+        assert lat2[0] == pytest.approx(lat[0], abs=1e-10)
+        assert lon2[0] == pytest.approx(lon[0], abs=1e-10)
+
+
+class TestPolyline:
+    def _square_u(self):
+        return Polyline(np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 100.0]]))
+
+    def test_length(self):
+        assert self._square_u().length == pytest.approx(200.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(GeometryError):
+            Polyline(np.array([[0.0, 0.0]]))
+
+    def test_rejects_duplicate_vertices(self):
+        with pytest.raises(GeometryError):
+            Polyline(np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]]))
+
+    def test_position_midpoint(self):
+        line = self._square_u()
+        assert line.position(50.0) == pytest.approx([50.0, 0.0])
+
+    def test_position_clips_to_ends(self):
+        line = self._square_u()
+        assert line.position(-5.0) == pytest.approx([0.0, 0.0])
+        assert line.position(1e9) == pytest.approx([100.0, 100.0])
+
+    def test_heading_first_segment_east(self):
+        line = self._square_u()
+        assert line.heading(10.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_heading_second_segment_north(self):
+        line = self._square_u()
+        assert line.heading(190.0) == pytest.approx(math.pi / 2, abs=1e-6)
+
+    def test_circle_curvature(self):
+        radius = 50.0
+        angles = np.linspace(0.0, math.pi, 200)
+        pts = np.stack([radius * np.cos(angles), radius * np.sin(angles)], axis=1)
+        line = Polyline(pts)
+        mid = line.length / 2.0
+        assert line.curvature(mid) == pytest.approx(1.0 / radius, rel=0.02)
+
+    def test_straight_line_zero_curvature(self):
+        line = Polyline(np.array([[0.0, 0.0], [50.0, 0.0], [100.0, 0.0]]))
+        assert line.curvature(50.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_project_onto_segment(self):
+        line = self._square_u()
+        assert line.project(np.array([30.0, 10.0])) == pytest.approx(30.0)
+
+    def test_project_past_corner(self):
+        line = self._square_u()
+        assert line.project(np.array([110.0, 50.0])) == pytest.approx(150.0)
+
+    def test_resample_preserves_length(self):
+        line = self._square_u()
+        dense = line.resample(5.0)
+        assert dense.length == pytest.approx(line.length, rel=0.01)
+
+    def test_resample_bad_spacing(self):
+        with pytest.raises(GeometryError):
+            self._square_u().resample(0.0)
+
+    def test_vector_position_shape(self):
+        line = self._square_u()
+        out = line.position(np.array([0.0, 50.0, 150.0]))
+        assert out.shape == (3, 2)

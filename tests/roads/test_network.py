@@ -1,0 +1,175 @@
+"""Road network graph tests: routing, reversal, concatenation, coverage."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import RouteError
+from repro.roads.builder import SectionSpec, build_profile
+from repro.roads.network import RoadEdge, RoadNetwork, concatenate_profiles
+
+
+def make_edge(u, v, length=300.0, grade_deg=1.0, start_xy=(0.0, 0.0), heading=0.0):
+    prof = build_profile(
+        [SectionSpec.from_degrees(length, grade_deg)],
+        start_xy=start_xy,
+        start_heading=heading,
+        name=f"{u}->{v}",
+    )
+    return RoadEdge(u=u, v=v, profile=prof)
+
+
+@pytest.fixture()
+def line_network():
+    """a -- b -- c in a straight line."""
+    net = RoadNetwork()
+    net.add_intersection("a", 0.0, 0.0)
+    net.add_intersection("b", 300.0, 0.0)
+    net.add_intersection("c", 600.0, 0.0)
+    net.add_road(make_edge("a", "b", grade_deg=2.0))
+    net.add_road(make_edge("b", "c", grade_deg=-1.0, start_xy=(300.0, 0.0)))
+    return net
+
+
+class TestNetworkBasics:
+    def test_total_length_counts_each_road_once(self, line_network):
+        assert line_network.total_length == pytest.approx(600.0)
+
+    def test_edges_iterates_forward_only(self, line_network):
+        assert len(list(line_network.edges())) == 2
+
+    def test_edge_between(self, line_network):
+        assert line_network.edge_between("a", "b").u == "a"
+
+    def test_edge_between_missing(self, line_network):
+        with pytest.raises(RouteError):
+            line_network.edge_between("a", "c")
+
+    def test_shortest_route(self, line_network):
+        assert line_network.shortest_route("a", "c") == ["a", "b", "c"]
+
+    def test_shortest_route_custom_weight(self, line_network):
+        route = line_network.shortest_route("a", "c", weight=lambda e: 1.0)
+        assert route[0] == "a" and route[-1] == "c"
+
+    def test_no_route_raises(self, line_network):
+        line_network.add_intersection("island", 1e4, 1e4)
+        with pytest.raises(RouteError):
+            line_network.shortest_route("a", "island")
+
+
+class TestRouteProfile:
+    def test_concatenated_length(self, line_network):
+        prof = line_network.route_profile(["a", "b", "c"])
+        assert prof.length == pytest.approx(600.0)
+
+    def test_concatenated_s_strictly_increasing(self, line_network):
+        prof = line_network.route_profile(["a", "b", "c"])
+        assert np.all(np.diff(prof.s) > 0)
+
+    def test_grades_in_order(self, line_network):
+        prof = line_network.route_profile(["a", "b", "c"])
+        assert prof.grade_at(150.0) == pytest.approx(math.radians(2.0), abs=1e-3)
+        assert prof.grade_at(450.0) == pytest.approx(math.radians(-1.0), abs=1e-3)
+
+    def test_reverse_direction_flips_grade(self, line_network):
+        prof = line_network.route_profile(["b", "a"])
+        assert prof.grade_at(150.0) == pytest.approx(math.radians(-2.0), abs=1e-3)
+
+    def test_reverse_heading_rotated(self, line_network):
+        fwd = line_network.route_profile(["a", "b"])
+        rev = line_network.route_profile(["b", "a"])
+        delta = abs(math.cos(rev.heading_at(150.0) - fwd.heading_at(150.0)) + 1.0)
+        assert delta < 1e-6  # opposite directions
+
+    def test_route_needs_two_nodes(self, line_network):
+        with pytest.raises(RouteError):
+            line_network.route_profile(["a"])
+
+    def test_route_with_missing_edge(self, line_network):
+        with pytest.raises(RouteError):
+            line_network.route_profile(["a", "c"])
+
+
+class TestConcatenate:
+    def test_empty_rejected(self):
+        with pytest.raises(RouteError):
+            concatenate_profiles([])
+
+    def test_single_passthrough(self, line_network):
+        prof = line_network.edge_between("a", "b").profile
+        assert concatenate_profiles([prof]) is prof
+
+    def test_outages_shifted(self):
+        p1 = build_profile([SectionSpec(200.0)], gps_outages=[(50.0, 80.0)])
+        p2 = build_profile(
+            [SectionSpec(200.0)], gps_outages=[(10.0, 30.0)], start_xy=(200.0, 0.0)
+        )
+        out = concatenate_profiles([p1, p2])
+        assert out.gps_outages == [(50.0, 80.0), (210.0, 230.0)]
+
+    def test_sections_carried_and_shifted(self):
+        p1 = build_profile([SectionSpec(200.0, name="s1")])
+        p2 = build_profile([SectionSpec(150.0, name="s2")], start_xy=(200.0, 0.0))
+        out = concatenate_profiles([p1, p2])
+        assert [s.name for s in out.sections] == ["s1", "s2"]
+        assert out.sections[1].s_start == pytest.approx(200.0)
+
+    def test_heading_continuous_across_joint(self):
+        # Second piece heading expressed near 2*pi shouldn't create a jump.
+        p1 = build_profile([SectionSpec.from_degrees(200.0, 0.0, turn_deg=170.0)])
+        end_heading = p1.heading[-1]
+        p2 = build_profile(
+            [SectionSpec(200.0)],
+            start_heading=end_heading - 2.0 * math.pi,
+            start_xy=tuple(p1.xy[-1]),
+        )
+        out = concatenate_profiles([p1, p2])
+        assert np.max(np.abs(np.diff(out.heading))) < 0.1
+
+
+class TestCoverageTour:
+    def _grid_network(self):
+        net = RoadNetwork()
+        coords = {(i, j): (i * 300.0, j * 300.0) for i in range(3) for j in range(3)}
+        for node, (x, y) in coords.items():
+            net.add_intersection(node, x, y)
+        for i in range(3):
+            for j in range(3):
+                if i + 1 < 3:
+                    net.add_road(
+                        make_edge((i, j), (i + 1, j), start_xy=coords[(i, j)])
+                    )
+                if j + 1 < 3:
+                    net.add_road(
+                        make_edge(
+                            (i, j), (i, j + 1), start_xy=coords[(i, j)],
+                            heading=math.pi / 2,
+                        )
+                    )
+        return net
+
+    def test_tour_is_connected_path(self):
+        net = self._grid_network()
+        tour = net.coverage_tour()
+        for u, v in zip(tour[:-1], tour[1:]):
+            assert net.graph.has_edge(u, v)
+
+    def test_tour_covers_all_edges(self):
+        net = self._grid_network()
+        tour = net.coverage_tour()
+        visited = set()
+        for u, v in zip(tour[:-1], tour[1:]):
+            visited.add(id(net.graph.edges[u, v]["edge"]))
+        assert visited == {id(e) for e in net.edges()}
+
+    def test_tour_respects_max_length(self):
+        net = self._grid_network()
+        tour = net.coverage_tour(max_length_m=700.0)
+        prof = net.route_profile(tour)
+        assert prof.length <= 1000.0 + 300.0  # may exceed by at most one edge
+
+    def test_tour_on_empty_network(self):
+        with pytest.raises(RouteError):
+            RoadNetwork().coverage_tour()

@@ -1,0 +1,104 @@
+"""Reference-gradient survey tests (paper Sec III-D)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roads.builder import SectionSpec, build_profile
+from repro.roads.reference import (
+    ReferenceProfile,
+    ReferenceSurveyConfig,
+    survey_reference_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def slope_profile():
+    return build_profile([SectionSpec.from_degrees(400.0, 2.5)], smooth_m=0.0)
+
+
+class TestSurvey:
+    def test_constant_slope_recovered(self, slope_profile):
+        ref = survey_reference_profile(slope_profile)
+        mid = ref.gradient_at(200.0)
+        # Per-segment values are quantized by the 0.01 m altimeter precision.
+        assert mid == pytest.approx(math.radians(2.5), abs=0.011)
+
+    def test_smoothed_removes_quantization_noise(self, slope_profile):
+        ref = survey_reference_profile(slope_profile).smoothed(15.0)
+        truth = slope_profile.grade_at(ref.s_mid[20:-20])
+        assert np.max(np.abs(ref.gradient[20:-20] - truth)) < 2e-3
+
+    def test_smoothed_bad_window(self, slope_profile):
+        with pytest.raises(ConfigurationError):
+            survey_reference_profile(slope_profile).smoothed(0.0)
+
+    def test_segment_count(self, slope_profile):
+        ref = survey_reference_profile(slope_profile)
+        assert len(ref) == 400
+
+    def test_segment_length_config(self, slope_profile):
+        ref = survey_reference_profile(
+            slope_profile, ReferenceSurveyConfig(segment_length=10.0)
+        )
+        assert len(ref) == 40
+
+    def test_quantization_error_bounded(self, slope_profile):
+        cfg = ReferenceSurveyConfig(altitude_precision=0.01)
+        ref = survey_reference_profile(slope_profile, cfg)
+        truth = slope_profile.grade_at(ref.s_mid)
+        # 0.01 m over 1 m segments: at most ~0.01 rad quantization error.
+        assert np.max(np.abs(ref.gradient - truth)) < 0.011
+
+    def test_perfect_instruments_exact(self, slope_profile):
+        cfg = ReferenceSurveyConfig(
+            altitude_precision=0.0, coordinate_precision_deg=0.0
+        )
+        ref = survey_reference_profile(slope_profile, cfg)
+        truth = slope_profile.grade_at(ref.s_mid)
+        # arcsin(dz/d) vs the builder's arctan(dz/ds): second-order gap only.
+        assert np.max(np.abs(ref.gradient - truth)) < 1e-4
+
+    def test_direction_east_for_straight_east_road(self, slope_profile):
+        ref = survey_reference_profile(slope_profile)
+        assert abs(math.sin(ref.direction[len(ref) // 2])) < 0.05
+
+    def test_downhill_negative(self):
+        prof = build_profile([SectionSpec.from_degrees(300.0, -2.0)], smooth_m=0.0)
+        ref = survey_reference_profile(prof)
+        assert ref.gradient_at(150.0) < -math.radians(1.5)
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceSurveyConfig(segment_length=0.0)
+        with pytest.raises(ConfigurationError):
+            ReferenceSurveyConfig(altitude_precision=-1.0)
+
+
+class TestReferenceProfile:
+    def test_gradient_at_picks_nearest(self):
+        ref = ReferenceProfile(
+            s_mid=np.array([0.5, 1.5, 2.5]),
+            gradient=np.array([0.01, 0.02, 0.03]),
+            direction=np.zeros(3),
+        )
+        assert ref.gradient_at(1.6) == pytest.approx(0.02)
+        assert ref.gradient_at(0.0) == pytest.approx(0.01)
+        assert ref.gradient_at(99.0) == pytest.approx(0.03)
+
+    def test_vector_query(self):
+        ref = ReferenceProfile(
+            s_mid=np.array([0.5, 1.5]),
+            gradient=np.array([0.01, 0.02]),
+            direction=np.zeros(2),
+        )
+        out = ref.gradient_at(np.array([0.4, 1.4]))
+        assert out == pytest.approx([0.01, 0.02])
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceProfile(
+                s_mid=np.zeros(3), gradient=np.zeros(2), direction=np.zeros(3)
+            )

@@ -1,0 +1,196 @@
+"""Coordinate alignment tests (paper Sec III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.roads import SectionSpec, build_profile
+from repro.sensors import CoordinateAlignment, GPSReceiver, Smartphone
+from repro.sensors.alignment import estimate_mounting_yaw, map_match
+from repro.vehicle import DriverProfile, simulate_trip
+
+
+@pytest.fixture(scope="module")
+def curvy_profile():
+    specs = [
+        SectionSpec.from_degrees(300.0, 1.0, 1, 0.0),
+        SectionSpec.from_degrees(300.0, 1.0, 1, 40.0),
+        SectionSpec.from_degrees(300.0, -1.0, 1, -30.0),
+    ]
+    return build_profile(specs, name="curvy")
+
+
+@pytest.fixture(scope="module")
+def curvy_trace(curvy_profile):
+    return simulate_trip(curvy_profile, DriverProfile(lane_changes_per_km=0.0), seed=9)
+
+
+@pytest.fixture(scope="module")
+def curvy_recording(curvy_trace):
+    return Smartphone().record(curvy_trace, np.random.default_rng(10))
+
+
+class TestMapMatch:
+    def test_matches_noisefree_positions(self, curvy_profile, curvy_trace):
+        idx = np.arange(0, len(curvy_trace), 100)
+        s = map_match(curvy_profile, curvy_trace.x[idx], curvy_trace.y[idx])
+        # Lateral lane offset keeps this from being exact; a few metres is fine.
+        assert np.nanmax(np.abs(s - curvy_trace.s[idx])) < 10.0
+
+    def test_nan_inputs_give_nan(self, curvy_profile):
+        s = map_match(curvy_profile, np.array([np.nan, 0.0]), np.array([np.nan, 0.0]))
+        assert np.isnan(s[0]) and np.isfinite(s[1])
+
+    def test_monotone_progress_on_forward_drive(self, curvy_profile, curvy_trace):
+        idx = np.arange(0, len(curvy_trace), 50)
+        s = map_match(curvy_profile, curvy_trace.x[idx], curvy_trace.y[idx])
+        assert np.all(np.diff(s) > -25.0)
+
+    def test_shape_mismatch(self, curvy_profile):
+        with pytest.raises(AlignmentError):
+            map_match(curvy_profile, np.zeros(3), np.zeros(2))
+
+
+class TestAlign:
+    def test_steering_rate_recovered_in_curves(
+        self, curvy_profile, curvy_trace, curvy_recording
+    ):
+        """w_steer = w_vehicle - w_road must remove road curvature."""
+        aligned = CoordinateAlignment(curvy_profile).align(
+            curvy_recording.gyro, curvy_recording.speedometer, curvy_recording.gps
+        )
+        w_true = np.interp(aligned.t, curvy_trace.t, curvy_trace.steer_rate)
+        w_vehicle_true = np.interp(aligned.t, curvy_trace.t, curvy_trace.yaw_rate)
+        # Without the subtraction the curve section would show ~0.05 rad/s.
+        raw_rms = np.sqrt(np.mean((w_vehicle_true - w_true) ** 2))
+        aligned_rms = np.sqrt(np.mean((aligned.w_steer - w_true) ** 2))
+        assert aligned_rms < raw_rms / 2.0
+
+    def test_arc_length_tracks_truth(self, curvy_profile, curvy_trace, curvy_recording):
+        aligned = CoordinateAlignment(curvy_profile).align(
+            curvy_recording.gyro, curvy_recording.speedometer, curvy_recording.gps
+        )
+        s_true = np.interp(aligned.t, curvy_trace.t, curvy_trace.s)
+        assert np.nanmean(np.abs(aligned.s - s_true)) < 8.0
+
+    def test_outage_marks_road_rate_unknown(self):
+        prof = build_profile(
+            [SectionSpec.from_degrees(600.0, 0.0, 1, 30.0)],
+            gps_outages=[(200.0, 400.0)],
+        )
+        trace = simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), seed=2)
+        rec = Smartphone().record(trace, np.random.default_rng(3))
+        aligned = CoordinateAlignment(prof).align(rec.gyro, rec.speedometer, rec.gps)
+        s_true = np.interp(aligned.t, trace.t, trace.s)
+        inside = (s_true > 220.0) & (s_true < 380.0)
+        assert not np.any(aligned.road_rate_known[inside])
+        # Inside the outage w_road falls back to zero -> curvature leaks in.
+        w_true = np.interp(aligned.t, trace.t, trace.steer_rate)
+        leak = np.mean(np.abs(aligned.w_steer[inside] - w_true[inside]))
+        assert leak > 0.005
+
+    def test_dead_reckoning_bridges_outage(self):
+        prof = build_profile(
+            [SectionSpec(800.0)], gps_outages=[(200.0, 500.0)]
+        )
+        trace = simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), seed=2)
+        rec = Smartphone().record(trace, np.random.default_rng(3))
+        aligned = CoordinateAlignment(prof).align(rec.gyro, rec.speedometer, rec.gps)
+        s_true = np.interp(aligned.t, trace.t, trace.s)
+        err = np.abs(aligned.s - s_true)
+        assert np.nanmax(err) < 30.0  # bounded by the outage length, not unbounded
+
+    def test_too_short_gyro_rejected(self, curvy_profile, curvy_recording):
+        from repro.sensors.base import SampledSignal
+
+        short = SampledSignal(t=np.array([0.0]), values=np.array([0.0]))
+        with pytest.raises(AlignmentError):
+            CoordinateAlignment(curvy_profile).align(
+                short, curvy_recording.speedometer, curvy_recording.gps
+            )
+
+
+class TestMountingYaw:
+    def test_recovers_offset_sign_and_scale(self, hill_trace):
+        for true_yaw in (np.radians(5.0), np.radians(-7.0)):
+            phone = Smartphone(mounting_yaw=true_yaw, correct_mounting=True)
+            rec = phone.record(hill_trace, np.random.default_rng(11))
+            est = rec.mounting_yaw_estimate
+            assert np.sign(est) == np.sign(true_yaw)
+            assert abs(est - true_yaw) < np.radians(4.0)
+
+    def test_derotated_channel_near_noise_floor(self, hill_trace):
+        clean = Smartphone().record(hill_trace, np.random.default_rng(11))
+        rotated = Smartphone(mounting_yaw=np.radians(6.0)).record(
+            hill_trace, np.random.default_rng(11)
+        )
+        truth = hill_trace.specific_force_longitudinal
+        rms_clean = np.sqrt(np.mean((clean.accel_long.values - truth) ** 2))
+        rms_rot = np.sqrt(np.mean((rotated.accel_long.values - truth) ** 2))
+        assert rms_rot < rms_clean * 1.3
+
+    def test_needs_long_recording(self):
+        from repro.sensors.base import SampledSignal
+
+        tiny = SampledSignal(t=np.arange(5.0), values=np.zeros(5))
+        with pytest.raises(AlignmentError):
+            estimate_mounting_yaw(tiny, tiny, tiny)
+
+
+class TestMapMatchDisambiguation:
+    """The scored matcher must survive routes that revisit streets."""
+
+    def _out_and_back(self):
+        """A route that drives east then returns west on the same street."""
+        from repro.roads.network import RoadEdge, RoadNetwork
+        from repro.roads.builder import SectionSpec, build_profile
+
+        net = RoadNetwork()
+        net.add_intersection("a", 0.0, 0.0)
+        net.add_intersection("b", 600.0, 0.0)
+        prof = build_profile([SectionSpec.from_degrees(600.0, 1.5)], name="ab")
+        net.add_road(RoadEdge(u="a", v="b", profile=prof))
+        return net.route_profile(["a", "b", "a"])
+
+    def test_out_and_back_stays_locked(self):
+        profile = self._out_and_back()
+        trace = simulate_trip(profile, DriverProfile(lane_changes_per_km=0.0), seed=13)
+        rec = Smartphone().record(trace, np.random.default_rng(14))
+        aligned = CoordinateAlignment(profile).align(
+            rec.gyro, rec.speedometer, rec.gps
+        )
+        s_true = np.interp(aligned.t, trace.t, trace.s)
+        err = np.abs(aligned.s - s_true)
+        # Without prediction-based disambiguation the return leg aliases to
+        # the outbound leg and the error reaches hundreds of metres.
+        assert np.nanmax(err) < 40.0
+
+    def test_distance_gate_rejects_far_fixes(self, curvy_profile):
+        # Fixes 200 m off the road must be left unmatched.
+        s = map_match(
+            curvy_profile,
+            np.array([0.0, 200.0]),
+            np.array([200.0, 500.0]),
+            expected_step=np.array([0.0, 10.0]),
+        )
+        assert np.all(np.isnan(s))
+
+    def test_expected_step_shape_checked(self, curvy_profile):
+        with pytest.raises(AlignmentError):
+            map_match(
+                curvy_profile,
+                np.zeros(3),
+                np.zeros(3),
+                expected_step=np.zeros(2),
+            )
+
+    def test_matches_with_expected_step(self, curvy_profile, curvy_trace):
+        idx = np.arange(0, len(curvy_trace), 100)
+        steps = np.diff(curvy_trace.s[idx], prepend=curvy_trace.s[idx][0])
+        s = map_match(
+            curvy_profile,
+            curvy_trace.x[idx],
+            curvy_trace.y[idx],
+            expected_step=steps,
+        )
+        assert np.nanmax(np.abs(s - curvy_trace.s[idx])) < 10.0

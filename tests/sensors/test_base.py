@@ -1,0 +1,70 @@
+"""SampledSignal tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SensorError
+from repro.sensors.base import SampledSignal
+
+
+class TestValidation:
+    def test_valid(self):
+        sig = SampledSignal(t=np.arange(5.0), values=np.ones(5))
+        assert len(sig) == 5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SensorError):
+            SampledSignal(t=np.arange(5.0), values=np.ones(4))
+
+    def test_default_valid_mask_from_nan(self):
+        sig = SampledSignal(t=np.arange(3.0), values=np.array([1.0, np.nan, 2.0]))
+        assert sig.valid.tolist() == [True, False, True]
+
+    def test_explicit_valid_mask(self):
+        sig = SampledSignal(
+            t=np.arange(3.0),
+            values=np.ones(3),
+            valid=np.array([True, False, True]),
+        )
+        assert not sig.valid[1]
+
+    def test_bad_valid_shape(self):
+        with pytest.raises(SensorError):
+            SampledSignal(t=np.arange(3.0), values=np.ones(3), valid=np.ones(2, bool))
+
+
+class TestRate:
+    def test_rate(self):
+        sig = SampledSignal(t=np.arange(0, 1, 0.02), values=np.zeros(50))
+        assert sig.rate == pytest.approx(50.0, rel=0.05)
+
+    def test_rate_single_sample(self):
+        sig = SampledSignal(t=np.array([0.0]), values=np.array([1.0]))
+        assert sig.rate == 0.0
+
+
+class TestInterpolation:
+    def test_linear_between_samples(self):
+        sig = SampledSignal(t=np.array([0.0, 1.0]), values=np.array([0.0, 10.0]))
+        assert sig.interpolate_to(np.array([0.5]))[0] == pytest.approx(5.0)
+
+    def test_nan_outside_span(self):
+        sig = SampledSignal(t=np.array([1.0, 2.0]), values=np.array([1.0, 2.0]))
+        out = sig.interpolate_to(np.array([0.0, 1.5, 3.0]))
+        assert np.isnan(out[0]) and np.isnan(out[2])
+        assert out[1] == pytest.approx(1.5)
+
+    def test_invalid_samples_excluded(self):
+        sig = SampledSignal(
+            t=np.array([0.0, 1.0, 2.0]),
+            values=np.array([0.0, 100.0, 2.0]),
+            valid=np.array([True, False, True]),
+        )
+        assert sig.interpolate_to(np.array([1.0]))[0] == pytest.approx(1.0)
+
+    def test_all_invalid_raises(self):
+        sig = SampledSignal(
+            t=np.arange(3.0), values=np.full(3, np.nan)
+        )
+        with pytest.raises(SensorError):
+            sig.interpolate_to(np.array([1.0]))

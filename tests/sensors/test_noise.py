@@ -1,0 +1,107 @@
+"""Noise model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SensorError
+from repro.sensors.noise import NoiseModel
+
+
+class TestValidation:
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(SensorError):
+            NoiseModel(white_std=-1.0)
+
+    def test_apply_needs_1d(self, rng):
+        with pytest.raises(SensorError):
+            NoiseModel().apply(np.zeros((3, 3)), 0.1, rng)
+
+    def test_apply_needs_positive_dt(self, rng):
+        with pytest.raises(SensorError):
+            NoiseModel().apply(np.zeros(10), 0.0, rng)
+
+
+class TestComponents:
+    def test_zero_noise_is_identity(self, rng):
+        truth = np.linspace(0, 10, 100)
+        out = NoiseModel().apply(truth, 0.1, rng)
+        assert np.array_equal(out, truth)
+
+    def test_white_noise_statistics(self, rng):
+        out = NoiseModel(white_std=0.5).apply(np.zeros(20_000), 0.1, rng)
+        assert np.std(out) == pytest.approx(0.5, rel=0.05)
+        assert np.mean(out) == pytest.approx(0.0, abs=0.02)
+
+    def test_bias_constant_within_trip(self, rng):
+        out = NoiseModel(bias_std=1.0).apply(np.zeros(100), 0.1, rng)
+        assert np.ptp(out) == 0.0
+        assert out[0] != 0.0
+
+    def test_bias_differs_between_trips(self):
+        model = NoiseModel(bias_std=1.0)
+        a = model.apply(np.zeros(10), 0.1, np.random.default_rng(1))[0]
+        b = model.apply(np.zeros(10), 0.1, np.random.default_rng(2))[0]
+        assert a != b
+
+    def test_drift_grows_with_time(self, rng):
+        n = 50_000
+        out = NoiseModel(drift_std=0.1).apply(np.zeros(n), 0.1, rng)
+        # Random walk: late excursions dwarf the early ones.
+        assert np.mean(np.abs(out[-1000:])) > 3.0 * np.mean(np.abs(out[:1000]))
+
+    def test_drift_scales_with_sqrt_time(self):
+        # Across many realizations, var(drift at T) ~ drift_std^2 * T.
+        model = NoiseModel(drift_std=0.2)
+        finals = [
+            model.apply(np.zeros(1000), 0.1, np.random.default_rng(i))[-1]
+            for i in range(300)
+        ]
+        expected_std = 0.2 * np.sqrt(100.0)
+        assert np.std(finals) == pytest.approx(expected_std, rel=0.2)
+
+    def test_quantization(self, rng):
+        truth = np.linspace(0, 1, 50)
+        out = NoiseModel(quantization=0.25).apply(truth, 0.1, rng)
+        assert set(np.round(out / 0.25) - out / 0.25) == {0.0}
+
+    def test_scale_error_multiplicative(self):
+        model = NoiseModel(scale_std=0.1)
+        truth = np.array([1.0, 2.0, 4.0])
+        out = model.apply(truth, 0.1, np.random.default_rng(3))
+        ratio = out / truth
+        assert np.allclose(ratio, ratio[0])
+
+
+class TestScaled:
+    def test_scaled_zero_removes_noise(self, rng):
+        model = NoiseModel(white_std=1.0, bias_std=1.0, drift_std=1.0).scaled(0.0)
+        out = model.apply(np.zeros(100), 0.1, rng)
+        assert np.array_equal(out, np.zeros(100))
+
+    def test_scaled_keeps_quantization(self):
+        model = NoiseModel(quantization=0.5).scaled(2.0)
+        assert model.quantization == 0.5
+
+    def test_scaled_multiplies_stds(self):
+        model = NoiseModel(white_std=0.2, bias_std=0.1).scaled(3.0)
+        assert model.white_std == pytest.approx(0.6)
+        assert model.bias_std == pytest.approx(0.3)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(SensorError):
+            NoiseModel().scaled(-1.0)
+
+
+class TestVarianceAt:
+    @given(st.floats(0.0, 100.0), st.floats(0.0, 200.0))
+    @settings(max_examples=40)
+    def test_monotone_in_time(self, t1, t2):
+        model = NoiseModel(white_std=0.1, bias_std=0.1, drift_std=0.1)
+        lo, hi = sorted([t1, t2])
+        assert model.variance_at(lo) <= model.variance_at(hi)
+
+    def test_value(self):
+        model = NoiseModel(white_std=0.3, bias_std=0.4, drift_std=0.1)
+        assert model.variance_at(4.0) == pytest.approx(0.09 + 0.16 + 0.04)

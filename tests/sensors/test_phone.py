@@ -1,0 +1,88 @@
+"""Smartphone bundle tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SensorError
+from repro.sensors import VELOCITY_SOURCES, Smartphone
+
+
+class TestRecording:
+    def test_timebase_matches_trace(self, hill_trace, hill_recording):
+        assert len(hill_recording) == len(hill_trace)
+        assert hill_recording.dt == hill_trace.dt
+
+    def test_all_channels_present(self, hill_recording):
+        assert hill_recording.accel_long.name == "accelerometer"
+        assert hill_recording.gyro.name == "gyroscope"
+        assert hill_recording.speedometer.name == "speedometer"
+        assert hill_recording.barometer.name == "barometer"
+        assert hill_recording.canbus.name == "canbus"
+
+    def test_duration(self, hill_trace, hill_recording):
+        assert hill_recording.duration == pytest.approx(hill_trace.duration)
+
+    def test_truth_kept_by_default(self, hill_recording, hill_trace):
+        assert hill_recording.truth is hill_trace
+
+    def test_truth_droppable(self, hill_trace, rng):
+        rec = Smartphone().record(hill_trace, rng, keep_truth=False)
+        assert rec.truth is None
+
+    def test_too_short_trace_rejected(self, hill_trace, rng):
+        with pytest.raises(SensorError):
+            Smartphone().record(hill_trace.slice(0, 1), rng)
+
+    def test_deterministic_given_rng_seed(self, hill_trace):
+        a = Smartphone().record(hill_trace, np.random.default_rng(5))
+        b = Smartphone().record(hill_trace, np.random.default_rng(5))
+        assert np.array_equal(a.accel_long.values, b.accel_long.values)
+        assert np.array_equal(a.gps.x, b.gps.x)
+
+
+class TestVelocitySources:
+    def test_all_four_sources(self, hill_recording):
+        sources = hill_recording.velocity_sources()
+        assert set(sources) == set(VELOCITY_SOURCES)
+
+    def test_unknown_source_rejected(self, hill_recording):
+        with pytest.raises(SensorError):
+            hill_recording.velocity_source("odometer")
+
+    def test_sources_roughly_agree(self, hill_recording, hill_trace):
+        for name, sig in hill_recording.velocity_sources().items():
+            v_true = np.interp(sig.t, hill_trace.t, hill_trace.v)
+            err = np.nanmean(np.abs(sig.values - v_true))
+            assert err < 2.0, name
+
+    def test_accel_velocity_reanchored_at_gps(self, hill_recording, hill_trace):
+        sig = hill_recording.accelerometer_velocity()
+        v_true = np.interp(sig.t, hill_trace.t, hill_trace.v)
+        # Drifts between fixes but never unboundedly.
+        assert np.max(np.abs(sig.values - v_true)) < 6.0
+
+    def test_accel_velocity_nonnegative(self, hill_recording):
+        assert np.all(hill_recording.accelerometer_velocity().values >= 0.0)
+
+
+class TestNoiseScale:
+    def test_zero_scale_gives_clean_speed(self, hill_trace, rng):
+        phone = Smartphone().with_noise_scale(0.0)
+        rec = phone.record(hill_trace, rng)
+        # Quantization remains, so compare loosely.
+        assert np.mean(np.abs(rec.speedometer.values - hill_trace.v)) < 1e-6
+
+    def test_larger_scale_noisier(self, hill_trace):
+        rec1 = Smartphone().record(hill_trace, np.random.default_rng(0))
+        rec3 = Smartphone().with_noise_scale(3.0).record(
+            hill_trace, np.random.default_rng(0)
+        )
+        err1 = np.std(rec1.speedometer.values - hill_trace.v)
+        err3 = np.std(rec3.speedometer.values - hill_trace.v)
+        assert err3 > 2.0 * err1
+
+    def test_scale_preserves_mounting_config(self, hill_trace):
+        phone = Smartphone(mounting_yaw=0.1, correct_mounting=False)
+        scaled = phone.with_noise_scale(2.0)
+        assert scaled.mounting_yaw == 0.1
+        assert scaled.correct_mounting is False

@@ -1,0 +1,90 @@
+"""Recording/trace persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SensorError
+from repro.sensors import Smartphone
+from repro.sensors.recording_io import (
+    load_recording,
+    load_trace,
+    save_recording,
+    save_trace,
+)
+
+
+class TestRecordingRoundTrip:
+    def test_bit_exact_channels(self, hill_recording, tmp_path):
+        path = tmp_path / "trip.npz"
+        save_recording(path, hill_recording)
+        clone = load_recording(path)
+        assert np.array_equal(clone.accel_long.values, hill_recording.accel_long.values)
+        assert np.array_equal(clone.gyro.values, hill_recording.gyro.values)
+        assert np.array_equal(clone.barometer.values, hill_recording.barometer.values)
+        assert np.array_equal(clone.canbus.t, hill_recording.canbus.t)
+        assert clone.dt == hill_recording.dt
+
+    def test_gps_preserved_with_nan(self, hill_trace, tmp_path):
+        from repro.roads import SectionSpec, build_profile
+        from repro.vehicle import simulate_trip
+
+        prof = build_profile([SectionSpec(600.0)], gps_outages=[(200.0, 400.0)])
+        trace = simulate_trip(prof, seed=2)
+        rec = Smartphone().record(trace, np.random.default_rng(3))
+        path = tmp_path / "outage.npz"
+        save_recording(path, rec)
+        clone = load_recording(path)
+        assert np.array_equal(clone.gps.available, rec.gps.available)
+        assert np.array_equal(np.isnan(clone.gps.x), np.isnan(rec.gps.x))
+
+    def test_truth_round_trip(self, hill_recording, tmp_path):
+        path = tmp_path / "trip.npz"
+        save_recording(path, hill_recording)
+        clone = load_recording(path)
+        assert clone.truth is not None
+        assert np.array_equal(clone.truth.grade, hill_recording.truth.grade)
+        assert clone.truth.driver_name == hill_recording.truth.driver_name
+
+    def test_truthless_recording(self, hill_trace, tmp_path):
+        rec = Smartphone().record(hill_trace, np.random.default_rng(1), keep_truth=False)
+        path = tmp_path / "no_truth.npz"
+        save_recording(path, rec)
+        assert load_recording(path).truth is None
+
+    def test_loaded_recording_estimates_identically(
+        self, hill_profile, hill_recording, tmp_path
+    ):
+        from repro.core import (
+            GradientEstimationSystem,
+            GradientSystemConfig,
+            LaneChangeDetectorConfig,
+            LaneChangeThresholds,
+        )
+
+        path = tmp_path / "trip.npz"
+        save_recording(path, hill_recording)
+        clone = load_recording(path)
+        cfg = GradientSystemConfig(
+            detector=LaneChangeDetectorConfig(
+                thresholds=LaneChangeThresholds(delta=0.05, duration=0.5)
+            )
+        )
+        a = GradientEstimationSystem(hill_profile, config=cfg).estimate(hill_recording)
+        b = GradientEstimationSystem(hill_profile, config=cfg).estimate(clone)
+        assert np.array_equal(a.fused.theta, b.fused.theta)
+
+
+class TestTraceRoundTrip:
+    def test_bit_exact(self, hill_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(path, hill_trace)
+        clone = load_trace(path)
+        assert np.array_equal(clone.v, hill_trace.v)
+        assert np.array_equal(clone.lane_change, hill_trace.lane_change)
+        assert clone.dt == hill_trace.dt
+
+    def test_wrong_archive_rejected(self, hill_recording, tmp_path):
+        path = tmp_path / "rec.npz"
+        save_recording(path, hill_recording)
+        with pytest.raises(SensorError):
+            load_trace(path)

@@ -1,0 +1,114 @@
+"""Individual sensor model tests: IMU, GPS, speedometer, barometer, CAN."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GRAVITY
+from repro.sensors.barometer import Barometer
+from repro.sensors.canbus import CanBusSpeed
+from repro.sensors.gps import GPSReceiver
+from repro.sensors.imu import Accelerometer, Gyroscope
+from repro.sensors.noise import NoiseModel
+from repro.sensors.speedometer import Speedometer
+
+QUIET = NoiseModel()  # zero noise
+
+
+class TestAccelerometer:
+    def test_includes_gravity_component(self, hill_trace, rng):
+        accel = Accelerometer(noise=QUIET)
+        sig = accel.measure(hill_trace, rng)
+        expected = hill_trace.a + GRAVITY * np.sin(hill_trace.grade)
+        assert np.allclose(sig.values, expected)
+
+    def test_gravity_free_mode(self, hill_trace, rng):
+        accel = Accelerometer(noise=QUIET, include_gravity=False)
+        sig = accel.measure(hill_trace, rng)
+        assert np.allclose(sig.values, hill_trace.a)
+
+    def test_noise_applied(self, hill_trace, rng):
+        accel = Accelerometer()
+        sig = accel.measure(hill_trace, rng)
+        truth = hill_trace.specific_force_longitudinal
+        assert not np.allclose(sig.values, truth)
+        assert np.std(sig.values - truth) < 0.5
+
+    def test_metadata(self, hill_trace, rng):
+        sig = Accelerometer().measure(hill_trace, rng)
+        assert sig.meta["includes_gravity"] is True
+        assert sig.unit == "m/s^2"
+
+
+class TestGyroscope:
+    def test_measures_yaw_rate(self, hill_trace, rng):
+        sig = Gyroscope(noise=QUIET).measure(hill_trace, rng)
+        assert np.allclose(sig.values, hill_trace.yaw_rate)
+
+    def test_noise_small_but_present(self, hill_trace, rng):
+        sig = Gyroscope().measure(hill_trace, rng)
+        err = sig.values - hill_trace.yaw_rate
+        assert 0.0 < np.std(err) < 0.05
+
+
+class TestGPS:
+    def test_one_hertz_epochs(self, hill_trace, rng):
+        fixes = GPSReceiver().measure_fixes(hill_trace, rng)
+        assert np.allclose(np.diff(fixes.t), 1.0, atol=hill_trace.dt)
+
+    def test_position_noise_metre_level(self, hill_trace, rng):
+        fixes = GPSReceiver().measure_fixes(hill_trace, rng)
+        x_true = np.interp(fixes.t, hill_trace.t, hill_trace.x)
+        err = fixes.x - x_true
+        assert 0.5 < np.nanstd(err) < 10.0
+
+    def test_availability_full_without_outage(self, hill_trace, rng):
+        fixes = GPSReceiver().measure_fixes(hill_trace, rng)
+        assert fixes.availability == 1.0
+
+    def test_speed_signal_has_valid_mask(self, hill_trace, rng):
+        sig = GPSReceiver().measure(hill_trace, rng)
+        assert sig.valid.shape == sig.t.shape
+
+
+class TestSpeedometer:
+    def test_nonnegative(self, hill_trace, rng):
+        sig = Speedometer().measure(hill_trace, rng)
+        assert np.all(sig.values >= 0.0)
+
+    def test_tracks_truth(self, hill_trace, rng):
+        sig = Speedometer().measure(hill_trace, rng)
+        assert np.mean(np.abs(sig.values - hill_trace.v)) < 0.5
+
+
+class TestBarometer:
+    def test_metre_level_error(self, hill_trace, rng):
+        sig = Barometer().measure(hill_trace, rng)
+        err = sig.values - hill_trace.z
+        # "Notoriously poor": metre-level at least.
+        assert np.std(err) > 0.5
+
+    def test_quantized(self, hill_trace, rng):
+        sig = Barometer().measure(hill_trace, rng)
+        remainder = np.abs(sig.values / 0.1 - np.round(sig.values / 0.1))
+        assert np.max(remainder) < 1e-6
+
+
+class TestCanBus:
+    def test_frame_rate(self, hill_trace, rng):
+        sig = CanBusSpeed(rate=10.0).measure(hill_trace, rng)
+        assert sig.rate == pytest.approx(10.0, rel=0.05)
+
+    def test_latency_shifts_timestamps(self, hill_trace, rng):
+        sig = CanBusSpeed(latency=0.08).measure(hill_trace, rng)
+        assert sig.t[0] == pytest.approx(hill_trace.t[0] + 0.08)
+
+    def test_quantization_grid(self, hill_trace, rng):
+        sig = CanBusSpeed().measure(hill_trace, rng)
+        q = 1.0 / 36.0
+        remainder = np.abs(sig.values / q - np.round(sig.values / q))
+        assert np.max(remainder) < 1e-6
+
+    def test_precise_relative_to_phone(self, hill_trace, rng):
+        sig = CanBusSpeed().measure(hill_trace, rng)
+        v_true = np.interp(sig.t - 0.08, hill_trace.t, hill_trace.v)
+        assert np.mean(np.abs(sig.values - v_true)) < 0.25

@@ -1,0 +1,45 @@
+"""Top-level package surface tests."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_symbols(self):
+        # The README quickstart relies on these names.
+        for name in (
+            "red_route",
+            "simulate_trip",
+            "Smartphone",
+            "GradientEstimationSystem",
+            "evaluate_methods",
+            "FuelModel",
+        ):
+            assert hasattr(repro, name)
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            ConfigurationError,
+            EstimationError,
+            FusionError,
+            ReproError,
+            SensorError,
+        )
+
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(FusionError, EstimationError)
+        assert issubclass(SensorError, ReproError)
+
+    def test_constants_sane(self):
+        from repro import constants
+
+        assert constants.GRAVITY == 9.80665
+        assert constants.LANE_WIDTH_M == 3.65
+        assert constants.DELTA_MIN_RAD_S == 0.1167
+        assert constants.T_MIN_S == 1.383

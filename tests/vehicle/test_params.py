@@ -1,0 +1,77 @@
+"""Vehicle parameter tests, including Table II record-keeping."""
+
+import math
+
+import pytest
+
+from repro.constants import GRAVITY
+from repro.errors import ConfigurationError
+from repro.vehicle.params import (
+    DEFAULT_VEHICLE,
+    SI_CALIBRATED,
+    TABLE_II,
+    VehicleParams,
+    VSPCoefficients,
+)
+
+
+class TestVehicleParams:
+    def test_defaults_plausible(self):
+        v = DEFAULT_VEHICLE
+        assert v.mass == 1479.0  # the paper's gross weight
+        assert 0.2 < v.drag_coefficient < 0.5
+
+    def test_beta_formula(self):
+        v = VehicleParams(rolling_resistance=0.012)
+        expected = math.asin(0.012 / math.sqrt(1.0 + 0.012**2))
+        assert v.beta == pytest.approx(expected)
+
+    def test_beta_small_angle(self):
+        # For small mu, beta ~ mu.
+        v = VehicleParams(rolling_resistance=0.01)
+        assert v.beta == pytest.approx(0.01, rel=1e-3)
+
+    def test_drag_term(self):
+        v = DEFAULT_VEHICLE
+        assert v.drag_term == pytest.approx(
+            v.air_density * v.frontal_area * v.drag_coefficient
+        )
+
+    def test_weight(self):
+        assert DEFAULT_VEHICLE.weight == pytest.approx(1479.0 * GRAVITY)
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ConfigurationError):
+            VehicleParams(mass=0.0)
+
+    def test_rejects_absurd_rolling_resistance(self):
+        with pytest.raises(ConfigurationError):
+            VehicleParams(rolling_resistance=0.5)
+
+
+class TestVSPCoefficients:
+    def test_table_ii_verbatim(self):
+        # The paper's Table II, kept exactly for the record.
+        assert TABLE_II.gge == 0.0545
+        assert TABLE_II.a == 4.7887
+        assert TABLE_II.b == 21.2903
+        assert TABLE_II.c == 0.3925
+        assert TABLE_II.d == 3.6000
+        assert TABLE_II.mass_tonnes == 1.479
+
+    def test_si_calibrated_grade_term_is_gravity(self):
+        assert SI_CALIBRATED.b == pytest.approx(GRAVITY)
+
+    def test_si_calibrated_aero_term(self):
+        # 0.5 * rho * A_f * C_d / 1000 for the default vehicle.
+        assert SI_CALIBRATED.a == pytest.approx(
+            0.5 * 1.2041 * 2.25 * 0.31 / 1000.0, rel=1e-6
+        )
+
+    def test_rejects_bad_gge(self):
+        with pytest.raises(ConfigurationError):
+            VSPCoefficients(gge=0.0)
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(ConfigurationError):
+            VSPCoefficients(mass_tonnes=-1.0)

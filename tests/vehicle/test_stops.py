@@ -1,0 +1,72 @@
+"""Stop-event tests: traffic lights and the v ~ 0 regime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.roads import SectionSpec, build_profile
+from repro.vehicle import DriverProfile, SimulationConfig, simulate_trip
+
+
+@pytest.fixture(scope="module")
+def stop_trace():
+    prof = build_profile([SectionSpec.from_degrees(800.0, 2.0)])
+    cfg = SimulationConfig(stops=((300.0, 5.0), (600.0, 3.0)), traffic_modulation=0.0)
+    return simulate_trip(prof, DriverProfile(lane_changes_per_km=0.0), config=cfg, seed=1)
+
+
+class TestStops:
+    def test_vehicle_actually_stops(self, stop_trace):
+        stopped = stop_trace.v < 0.05
+        assert stopped.sum() * stop_trace.dt >= 7.0  # 5 s + 3 s (minus ramps)
+
+    def test_stops_at_requested_positions(self, stop_trace):
+        stopped_s = stop_trace.s[stop_trace.v < 0.05]
+        assert np.any(np.abs(stopped_s - 300.0) < 5.0)
+        assert np.any(np.abs(stopped_s - 600.0) < 5.0)
+
+    def test_route_still_completed(self, stop_trace):
+        assert stop_trace.distance == pytest.approx(800.0, abs=3.0)
+
+    def test_speed_never_negative(self, stop_trace):
+        assert np.all(stop_trace.v >= 0.0)
+
+    def test_resumes_cruise_after_stop(self, stop_trace):
+        # Between the stops the vehicle gets back up to cruise-ish speed.
+        between = (stop_trace.s > 420.0) & (stop_trace.s < 520.0)
+        assert stop_trace.v[between].max() > 6.0
+
+    def test_hold_durations_roughly_respected(self, stop_trace):
+        stopped = stop_trace.v < 0.05
+        near_first = stopped & (np.abs(stop_trace.s - 300.0) < 5.0)
+        assert near_first.sum() * stop_trace.dt == pytest.approx(5.0, abs=1.5)
+
+    def test_bad_stop_config(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(stops=((-5.0, 2.0),))
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(stops=((100.0, -1.0),))
+
+
+class TestEstimationThroughStops:
+    def test_gradient_estimation_survives_standstill(self, stop_trace):
+        from repro.core import (
+            GradientEstimationSystem,
+            GradientSystemConfig,
+            LaneChangeDetectorConfig,
+            LaneChangeThresholds,
+        )
+        from repro.sensors import Smartphone
+
+        rec = Smartphone().record(stop_trace, np.random.default_rng(2))
+        cfg = GradientSystemConfig(
+            detector=LaneChangeDetectorConfig(
+                thresholds=LaneChangeThresholds(delta=0.05, duration=0.5)
+            )
+        )
+        res = GradientEstimationSystem(stop_trace.profile, config=cfg).estimate(rec)
+        truth = stop_trace.profile.grade_at(res.s_grid)
+        err = np.degrees(np.abs(res.fused.theta - truth))
+        warm = res.s_grid > 80.0
+        assert np.isfinite(res.fused.theta).all()
+        assert err[warm].mean() < 0.8

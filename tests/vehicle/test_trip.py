@@ -1,0 +1,106 @@
+"""TruthTrace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GRAVITY
+from repro.errors import ConfigurationError
+from repro.vehicle.trip import TruthTrace
+
+
+def make_trace(n=100, dt=0.02, lane_change=None):
+    t = np.arange(n) * dt
+    kwargs = dict(
+        t=t,
+        s=np.linspace(0, 50, n),
+        v=np.full(n, 10.0),
+        a=np.zeros(n),
+        grade=np.full(n, 0.02),
+        z=np.zeros(n),
+        x=np.linspace(0, 50, n),
+        y=np.zeros(n),
+        vehicle_heading=np.zeros(n),
+        road_heading=np.zeros(n),
+        yaw_rate=np.zeros(n),
+        steer_rate=np.zeros(n),
+        road_turn_rate=np.zeros(n),
+        alpha=np.zeros(n),
+        lateral_offset=np.zeros(n),
+        torque=np.zeros(n),
+        lane=np.zeros(n, dtype=int),
+        lane_change=lane_change if lane_change is not None else np.zeros(n, dtype=int),
+        gps_available=np.ones(n, dtype=bool),
+        dt=dt,
+    )
+    return TruthTrace(**kwargs)
+
+
+class TestValidation:
+    def test_valid_trace(self):
+        assert len(make_trace()) == 100
+
+    def test_bad_field_length(self):
+        with pytest.raises(ConfigurationError):
+            trace = make_trace()
+            TruthTrace(
+                **{
+                    **{k: getattr(trace, k) for k in (
+                        "t", "s", "v", "a", "grade", "z", "x", "y",
+                        "vehicle_heading", "road_heading", "yaw_rate",
+                        "steer_rate", "road_turn_rate", "alpha",
+                        "lateral_offset", "torque",
+                    )},
+                    "lane": trace.lane[:-1],
+                    "lane_change": trace.lane_change,
+                    "gps_available": trace.gps_available,
+                    "dt": trace.dt,
+                }
+            )
+
+    def test_bad_dt(self):
+        with pytest.raises(ConfigurationError):
+            trace = make_trace()
+            trace.dt = 0.02  # fine
+            make_trace(dt=0.0)
+
+
+class TestDerived:
+    def test_duration_and_distance(self):
+        trace = make_trace(n=100, dt=0.02)
+        assert trace.duration == pytest.approx(99 * 0.02)
+        assert trace.distance == pytest.approx(50.0)
+
+    def test_v_longitudinal_with_alpha(self):
+        trace = make_trace()
+        trace.alpha = np.full(len(trace), 0.1)
+        assert trace.v_longitudinal[0] == pytest.approx(10.0 * np.cos(0.1))
+
+    def test_specific_force(self):
+        trace = make_trace()
+        expected = 0.0 + GRAVITY * np.sin(0.02)
+        assert trace.specific_force_longitudinal[0] == pytest.approx(expected)
+
+    def test_lane_change_intervals(self):
+        lc = np.zeros(100, dtype=int)
+        lc[10:20] = 1
+        lc[50:65] = -1
+        trace = make_trace(lane_change=lc)
+        spans = trace.lane_change_intervals()
+        assert spans == [(10, 20, 1), (50, 65, -1)]
+
+    def test_adjacent_opposite_changes_split(self):
+        lc = np.zeros(100, dtype=int)
+        lc[10:20] = 1
+        lc[20:30] = -1
+        trace = make_trace(lane_change=lc)
+        assert trace.lane_change_intervals() == [(10, 20, 1), (20, 30, -1)]
+
+    def test_no_lane_changes(self):
+        assert make_trace().lane_change_intervals() == []
+
+    def test_slice(self):
+        trace = make_trace()
+        sub = trace.slice(10, 30)
+        assert len(sub) == 20
+        assert sub.t[0] == pytest.approx(trace.t[10])
+        assert sub.dt == trace.dt
