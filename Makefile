@@ -1,0 +1,19 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: check test bench-smoke bench
+
+check: test bench-smoke
+
+test:
+	$(PYTEST) -x -q
+
+bench-smoke:
+	$(PYTEST) benchmarks/bench_obs_overhead.py -q -p no:cacheprovider
+	@python -c "import json; d = json.load(open('benchmarks/bench_telemetry.json')); \
+	assert d['schema'] == 'repro.bench_telemetry/v1' and d['benchmarks']; \
+	print('bench_telemetry.json OK:', sorted(d['benchmarks']))"
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only -s

@@ -8,11 +8,18 @@ interesting kernel, not repeated setup.
 
 Set ``REPRO_FULL_SCALE=1`` to run the Fig 9 experiments over the full
 ~165 km network instead of the default 25 km coverage tour.
+
+Telemetry: every benchmark can request the per-test ``bench_telemetry``
+fixture (or share ``session_telemetry``); the collected span trees and
+counters are written to ``benchmarks/bench_telemetry.json`` when the
+session ends, giving each run a per-stage timing artifact.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -20,6 +27,12 @@ import pytest
 from repro.datasets.charlottesville import city_network, red_route
 from repro.datasets.steering_study import calibrated_thresholds
 from repro.eval.runner import RunnerConfig, evaluate_methods
+from repro.obs import Telemetry, export_run
+
+#: Where the per-benchmark stage-timing artifact lands.
+TELEMETRY_ARTIFACT = Path(__file__).resolve().parent / "bench_telemetry.json"
+
+_collected: dict[str, dict] = {}
 
 
 def full_scale() -> bool:
@@ -38,11 +51,30 @@ def thresholds():
 
 
 @pytest.fixture(scope="session")
-def red_route_comparison(red_route_profile):
+def session_telemetry():
+    """One telemetry object shared by the session-scoped experiment fixtures."""
+    tel = Telemetry(name="bench-session")
+    yield tel
+    _collected["session"] = export_run(tel)
+
+
+@pytest.fixture()
+def bench_telemetry(request):
+    """A fresh telemetry per benchmark; exported into the session artifact."""
+    tel = Telemetry(name=request.node.name)
+    yield tel
+    _collected[request.node.name] = export_run(tel)
+
+
+@pytest.fixture(scope="session")
+def red_route_comparison(red_route_profile, session_telemetry):
     """Fig 8(a) experiment: OPS vs EKF vs ANN on the red route."""
     cfg = RunnerConfig(n_trips=2, seed=3)
     return evaluate_methods(
-        red_route_profile, methods=("ops", "ekf", "ann"), cfg=cfg
+        red_route_profile,
+        methods=("ops", "ekf", "ann"),
+        cfg=cfg,
+        telemetry=session_telemetry,
     )
 
 
@@ -57,6 +89,19 @@ def network_tour():
         tour = net.coverage_tour(max_length_m=25_000.0)
     profile = net.route_profile(tour, name="city-tour")
     return net, profile
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_sessionfinish(session, exitstatus):
+    # Write after the regular hooks so session-fixture teardown (which
+    # exports session_telemetry) has already run.
+    yield
+    if _collected:
+        payload = {
+            "schema": "repro.bench_telemetry/v1",
+            "benchmarks": _collected,
+        }
+        TELEMETRY_ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def print_block(text: str) -> None:

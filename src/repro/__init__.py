@@ -55,6 +55,7 @@ from .datasets import (
 from .emissions import CO2, PM25, FuelModel, gradient_fuel_uplift, network_emission_map
 from .errors import ReproError
 from .eval import ComparisonResult, RunnerConfig, evaluate_fusion_counts, evaluate_methods
+from .obs import NullTelemetry, Telemetry, export_run, telemetry_enabled
 from .roads import (
     RoadNetwork,
     RoadProfile,
@@ -102,6 +103,10 @@ __all__ = [
     "gradient_fuel_uplift",
     "network_emission_map",
     "ReproError",
+    "NullTelemetry",
+    "Telemetry",
+    "export_run",
+    "telemetry_enabled",
     "ComparisonResult",
     "RunnerConfig",
     "evaluate_fusion_counts",

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..constants import GRAVITY
 from ..errors import EstimationError
+from ..obs import Telemetry
 from ..sensors.base import SampledSignal
 from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
 from .ekf import EKFModel, ExtendedKalmanFilter
@@ -97,6 +98,7 @@ def estimate_track(
     vehicle: VehicleParams | None = None,
     config: GradientEKFConfig | None = None,
     name: str | None = None,
+    telemetry: Telemetry | None = None,
 ) -> GradientTrack:
     """Run the gradient EKF against one velocity source (fast engine).
 
@@ -122,6 +124,13 @@ def estimate_track(
 
     dt = float(np.median(np.diff(t)))
     z = measurements_on_timebase(t, velocity)
+    tel = telemetry if telemetry is not None and telemetry.active else None
+    if tel is not None:
+        dropped = int(np.count_nonzero(~(velocity.valid & np.isfinite(velocity.values))))
+        tel.count("samples_dropped", dropped)
+        tel.count("ekf_ticks", n)
+        tel.count("ekf_updates", int(np.count_nonzero(np.isfinite(z))))
+    innovations: list[float] = []
     r = cfg.std_for(velocity.name) ** 2
     q_v = (cfg.accel_noise_std * dt) ** 2
     q_t = cfg.grade_rate_std**2 * dt
@@ -206,6 +215,8 @@ def estimate_track(
             k1 = p11 / s_inno
             k2 = p12 / s_inno
             inno = zi - v_state
+            if tel is not None:
+                innovations.append(abs(inno))
             v_state += k1 * inno
             theta += k2 * inno
             one_m = 1.0 - k1
@@ -225,6 +236,11 @@ def estimate_track(
 
     if do_smooth:
         _rts_backward(hist_xp, hist_pp, hist_xf, hist_pf, hist_f, theta_out, var_out, v_out)
+
+    if tel is not None:
+        if innovations:
+            tel.observe_many("ekf_innovation_abs", innovations)
+        tel.gauge("ekf.final_theta_variance", float(var_out[-1]))
 
     return GradientTrack(
         name=name or velocity.name,

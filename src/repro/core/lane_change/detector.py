@@ -26,6 +26,7 @@ from ...constants import (
     T_MIN_S,
 )
 from ...errors import EstimationError
+from ...obs import NULL_TELEMETRY, Telemetry
 from ...sensors.alignment import AlignedSteering
 from .bumps import Bump, find_bumps
 from .features import LaneChangeThresholds
@@ -102,8 +103,13 @@ def lateral_displacement(
 class LaneChangeDetector:
     """Algorithm 1 over a steering-rate profile."""
 
-    def __init__(self, config: LaneChangeDetectorConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: LaneChangeDetectorConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.config = config or LaneChangeDetectorConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def smooth(self, w_steer: np.ndarray) -> np.ndarray:
         """The LOESS-smoothed steering-rate profile the detector scans."""
@@ -137,7 +143,10 @@ class LaneChangeDetector:
             w = self.smooth(w)
 
         bumps = find_bumps(t, w, self.config.thresholds)
-        return self._run_state_machine(t, w, v, bumps)
+        self.telemetry.count("lane_change.bumps", len(bumps))
+        events = self._run_state_machine(t, w, v, bumps)
+        self.telemetry.count("lane_changes_detected", len(events))
+        return events
 
     def detect_aligned(self, aligned: AlignedSteering) -> list[LaneChangeEvent]:
         """Detect lane changes directly from an alignment output."""
@@ -172,6 +181,7 @@ class LaneChangeDetector:
                 continue
             # Opposite signs: apply the Eq 1 displacement rule.
             displacement = lateral_displacement(t, w, v, stored.start, bump.end)
+            self.telemetry.observe("lane_change.displacement_abs", abs(displacement))
             if abs(displacement) <= cfg.displacement_factor * cfg.lane_width:
                 direction = +1 if stored.sign > 0 else -1
                 events.append(
@@ -189,5 +199,6 @@ class LaneChangeDetector:
                 # S-shaped road: reject the pair; the trailing lobe becomes
                 # the new candidate so a genuine maneuver right after an
                 # S-curve is still catchable.
+                self.telemetry.count("lane_change.s_curve_rejections")
                 stored = bump
         return events

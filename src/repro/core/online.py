@@ -24,6 +24,7 @@ import numpy as np
 
 from ..constants import GRAVITY
 from ..errors import EstimationError
+from ..obs import Telemetry
 from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
 from .gradient_ekf import GradientEKFConfig
 
@@ -51,6 +52,7 @@ class StreamingGradientEstimator:
         config: GradientEKFConfig | None = None,
         measurement_std: float = 0.2,
         v0: float | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if dt <= 0.0:
             raise EstimationError("dt must be positive")
@@ -74,6 +76,18 @@ class StreamingGradientEstimator:
         self._p12 = 0.0
         self._p22 = cfg.initial_grade_std**2
         self._ticks = 0
+
+        # Telemetry: counter objects are resolved once here so the per-tick
+        # cost is one attribute increment; with telemetry disabled the push
+        # path pays only a single `is None` check.
+        obs = telemetry if telemetry is not None and telemetry.active else None
+        self._obs = obs
+        self._diverged = False
+        if obs is not None:
+            self._c_ticks = obs.metrics.counter("stream.ticks")
+            self._c_updates = obs.metrics.counter("stream.updates")
+            self._c_clamped = obs.metrics.counter("stream.clamped_ticks")
+            self._c_nonfinite = obs.metrics.counter("stream.nonfinite_guard")
 
     @property
     def ticks(self) -> int:
@@ -144,6 +158,8 @@ class StreamingGradientEstimator:
 
         self._t += dt
         self._ticks += 1
+        if self._obs is not None:
+            self._record_tick(updated)
         return StreamState(
             t=self._t,
             v=self._v,
@@ -151,6 +167,36 @@ class StreamingGradientEstimator:
             theta_variance=self._p22,
             updated=updated,
         )
+
+    def _record_tick(self, updated: bool) -> None:
+        """Per-tick counters plus a one-shot divergence/NaN guard event."""
+        self._c_ticks.inc()
+        if updated:
+            self._c_updates.inc()
+        theta = self._theta
+        v = self._v
+        if not (math.isfinite(theta) and math.isfinite(v)):
+            self._c_nonfinite.inc()
+            if not self._diverged:
+                self._diverged = True
+                self._obs.event(
+                    "stream.divergence",
+                    reason="nonfinite",
+                    tick=self._ticks,
+                    theta=theta,
+                    v=v,
+                )
+        elif abs(theta) >= self._clamp:
+            self._c_clamped.inc()
+            if not self._diverged:
+                self._diverged = True
+                self._obs.event(
+                    "stream.divergence",
+                    reason="clamp",
+                    tick=self._ticks,
+                    theta=theta,
+                    v=v,
+                )
 
     def run(self, accel: np.ndarray, v_meas: np.ndarray) -> np.ndarray:
         """Convenience: push whole arrays (NaN in ``v_meas`` = no update).

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import EstimationError
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..roads.profile import RoadProfile
 from ..sensors.alignment import AlignedSteering, CoordinateAlignment
 from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording
@@ -60,6 +61,12 @@ class GradientSystemConfig:
             raise EstimationError(f"unknown velocity sources: {sorted(unknown)}")
         if not self.velocity_sources:
             raise EstimationError("at least one velocity source is required")
+        if len(set(self.velocity_sources)) != len(self.velocity_sources):
+            seen: set[str] = set()
+            dupes = sorted(
+                {s for s in self.velocity_sources if s in seen or seen.add(s)}
+            )
+            raise EstimationError(f"duplicate velocity sources: {dupes}")
         if self.fusion_grid_spacing <= 0.0:
             raise EstimationError("fusion grid spacing must be positive")
 
@@ -104,44 +111,62 @@ class GradientEstimationSystem:
         road_map: RoadProfile,
         vehicle: VehicleParams | None = None,
         config: GradientSystemConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.road_map = road_map
         self.vehicle = vehicle or DEFAULT_VEHICLE
         self.config = config or GradientSystemConfig()
-        self._alignment = CoordinateAlignment(road_map)
-        self._detector = LaneChangeDetector(self.config.detector)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._alignment = CoordinateAlignment(road_map, telemetry=self.telemetry)
+        self._detector = LaneChangeDetector(self.config.detector, telemetry=self.telemetry)
 
     def estimate(self, recording: PhoneRecording) -> EstimationResult:
         """Estimate the road-gradient profile from one phone recording."""
         cfg = self.config
+        tel = self.telemetry
 
-        # Stage 1: coordinate alignment (Fig 2).
-        aligned = self._alignment.align(
-            recording.gyro, recording.speedometer, recording.gps
-        )
+        with tel.span("estimate", n_sources=len(cfg.velocity_sources)):
+            # Stage 1: coordinate alignment (Fig 2).
+            with tel.span("alignment"):
+                aligned = self._alignment.align(
+                    recording.gyro, recording.speedometer, recording.gps
+                )
 
-        # Stage 2: lane-change detection + Eq 2 correction.
-        w_smooth = self._detector.smooth(aligned.w_steer)
-        events = self._detector.detect(aligned.t, w_smooth, aligned.v, presmoothed=True)
+            # Stage 2: lane-change detection + Eq 2 correction.
+            with tel.span("lane_change") as lc_span:
+                w_smooth = self._detector.smooth(aligned.w_steer)
+                events = self._detector.detect(
+                    aligned.t, w_smooth, aligned.v, presmoothed=True
+                )
+                lc_span.set(n_events=len(events))
 
-        # Stage 3: one gradient track per velocity source.
-        tracks: dict[str, GradientTrack] = {}
-        for source in cfg.velocity_sources:
-            signal = recording.velocity_source(source)
-            if cfg.apply_lane_change_correction and events:
-                signal = correct_velocity_signal(signal, aligned.t, w_smooth, events)
-            tracks[source] = estimate_track(
-                recording.accel_long,
-                signal,
-                aligned.s,
-                vehicle=self.vehicle,
-                config=cfg.ekf,
-                name=source,
-            )
+            # Stage 3: one gradient track per velocity source.
+            with tel.span("ekf_tracks"):
+                tracks: dict[str, GradientTrack] = {}
+                for source in cfg.velocity_sources:
+                    with tel.span("track", source=source):
+                        signal = recording.velocity_source(source)
+                        if cfg.apply_lane_change_correction and events:
+                            signal = correct_velocity_signal(
+                                signal, aligned.t, w_smooth, events
+                            )
+                        tracks[source] = estimate_track(
+                            recording.accel_long,
+                            signal,
+                            aligned.s,
+                            vehicle=self.vehicle,
+                            config=cfg.ekf,
+                            name=source,
+                            telemetry=tel,
+                        )
 
-        # Stage 4: Eq 6 track fusion on a position grid.
-        s_grid = self._fusion_grid(aligned)
-        fused = fuse_tracks(list(tracks.values()), s_grid, name="fused")
+            # Stage 4: Eq 6 track fusion on a position grid.
+            with tel.span("fusion"):
+                s_grid = self._fusion_grid(aligned)
+                fused = fuse_tracks(
+                    list(tracks.values()), s_grid, name="fused", telemetry=tel
+                )
+        tel.count("pipeline.estimates")
         return EstimationResult(
             fused=fused, tracks=tracks, events=events, aligned=aligned, s_grid=s_grid
         )
@@ -162,6 +187,7 @@ def fuse_estimates(
     results: list[EstimationResult],
     s_grid: np.ndarray | None = None,
     name: str = "cloud-fused",
+    telemetry: Telemetry | None = None,
 ) -> GradientTrack:
     """Cloud-side fusion of several trips' fused tracks (Sec III-C3).
 
@@ -171,9 +197,18 @@ def fuse_estimates(
     """
     if not results:
         raise EstimationError("fuse_estimates needs at least one result")
-    if s_grid is None:
-        lo = min(float(r.s_grid[0]) for r in results)
-        hi = max(float(r.s_grid[-1]) for r in results)
-        spacing = float(np.median(np.diff(results[0].s_grid)))
-        s_grid = lo + np.arange(int((hi - lo) / spacing) + 1) * spacing
-    return fuse_tracks([r.fused for r in results], np.asarray(s_grid, dtype=float), name=name)
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("cloud_fusion", n_trips=len(results)):
+        if s_grid is None:
+            lo = min(float(r.s_grid[0]) for r in results)
+            hi = max(float(r.s_grid[-1]) for r in results)
+            spacing = float(np.median(np.diff(results[0].s_grid)))
+            s_grid = lo + np.arange(int((hi - lo) / spacing) + 1) * spacing
+        fused = fuse_tracks(
+            [r.fused for r in results],
+            np.asarray(s_grid, dtype=float),
+            name=name,
+            telemetry=tel,
+        )
+    tel.count("pipeline.cloud_fusions")
+    return fused

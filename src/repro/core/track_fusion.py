@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import FusionError
+from ..obs import NULL_TELEMETRY, Telemetry
 from .track import GradientTrack
 
 __all__ = ["fuse_tracks", "convex_combination"]
@@ -59,6 +60,7 @@ def fuse_tracks(
     tracks: list[GradientTrack],
     s_grid: np.ndarray,
     name: str = "fused",
+    telemetry: Telemetry | None = None,
 ) -> GradientTrack:
     """Fuse several gradient tracks onto a common position grid.
 
@@ -74,6 +76,13 @@ def fuse_tracks(
     variances = np.empty_like(thetas)
     for i, track in enumerate(tracks):
         thetas[i], variances[i] = track.resample(s_grid)
+
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    if tel.active:
+        ok = np.isfinite(thetas) & np.isfinite(variances) & (variances > 0.0)
+        tel.count("fusion_tracks_in", len(tracks))
+        tel.count("fusion.grid_points", len(s_grid))
+        tel.count("fusion.uncovered_cells", int(ok.size - np.count_nonzero(ok)))
 
     theta_bar, var_bar = convex_combination(thetas, variances)
 

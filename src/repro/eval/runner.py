@@ -36,6 +36,7 @@ from ..core.pipeline import (
 from ..core.track import GradientTrack
 from ..datasets.steering_study import calibrated_thresholds
 from ..errors import ConfigurationError
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..roads.profile import RoadProfile
 from ..roads.reference import survey_reference_profile
 from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording, Smartphone
@@ -144,21 +145,27 @@ def _driver_for_trip(cfg: RunnerConfig, i: int) -> DriverProfile:
 
 
 def collect_recordings(
-    profile: RoadProfile, cfg: RunnerConfig
+    profile: RoadProfile,
+    cfg: RunnerConfig,
+    telemetry: Telemetry | None = None,
 ) -> list[tuple[TruthTrace, PhoneRecording]]:
     """Simulate the configured trips and record each with a fresh phone."""
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     phone = Smartphone().with_noise_scale(cfg.noise_scale)
     sim_cfg = SimulationConfig(sample_rate=cfg.sample_rate)
     out = []
-    for i in range(cfg.n_trips):
-        trace = simulate_trip(
-            profile,
-            driver=_driver_for_trip(cfg, i),
-            config=sim_cfg,
-            seed=cfg.seed * 104729 + i,
-        )
-        rec = phone.record(trace, np.random.default_rng(cfg.seed * 65537 + i))
-        out.append((trace, rec))
+    with tel.span("collect_recordings", n_trips=cfg.n_trips):
+        for i in range(cfg.n_trips):
+            with tel.span("trip", index=i):
+                trace = simulate_trip(
+                    profile,
+                    driver=_driver_for_trip(cfg, i),
+                    config=sim_cfg,
+                    seed=cfg.seed * 104729 + i,
+                )
+                rec = phone.record(trace, np.random.default_rng(cfg.seed * 65537 + i))
+            tel.count("eval.trips_simulated")
+            out.append((trace, rec))
     return out
 
 
@@ -166,6 +173,7 @@ def make_system(
     profile: RoadProfile,
     cfg: RunnerConfig,
     velocity_sources: tuple[str, ...] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> GradientEstimationSystem:
     """An OPS instance configured per the runner settings."""
     thresholds = cfg.thresholds or calibrated_thresholds()
@@ -176,7 +184,7 @@ def make_system(
         apply_lane_change_correction=cfg.apply_lane_change_correction,
         fusion_grid_spacing=cfg.grid_spacing,
     )
-    return GradientEstimationSystem(profile, config=sys_cfg)
+    return GradientEstimationSystem(profile, config=sys_cfg, telemetry=telemetry)
 
 
 def _common_grid(profile: RoadProfile, cfg: RunnerConfig) -> np.ndarray:
@@ -211,6 +219,7 @@ def evaluate_methods(
     profile: RoadProfile,
     methods: tuple[str, ...] = ("ops", "ekf", "ann"),
     cfg: RunnerConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ComparisonResult:
     """Compare gradient-estimation methods on one route.
 
@@ -220,27 +229,30 @@ def evaluate_methods(
     4,320-sample training set.
     """
     cfg = cfg or RunnerConfig()
-    reference = survey_reference_profile(profile).smoothed(cfg.reference_smooth_m)
-    s_grid = _common_grid(profile, cfg)
-    truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("reference"):
+        reference = survey_reference_profile(profile).smoothed(cfg.reference_smooth_m)
+        s_grid = _common_grid(profile, cfg)
+        truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
 
-    recordings = collect_recordings(profile, cfg)
-    system = make_system(profile, cfg)
+    recordings = collect_recordings(profile, cfg, telemetry=tel)
+    system = make_system(profile, cfg, telemetry=tel)
 
     ann: ANNGradientEstimator | None = None
     if "ann" in methods:
-        ann = ANNGradientEstimator(cfg.ann)
-        train_trace = simulate_trip(
-            profile,
-            driver=_driver_for_trip(cfg, 9999),
-            config=SimulationConfig(sample_rate=cfg.sample_rate),
-            seed=cfg.seed * 31337 + 1,
-        )
-        train_rec = Smartphone().with_noise_scale(cfg.noise_scale).record(
-            train_trace, np.random.default_rng(cfg.seed * 31337 + 2)
-        )
-        labels = np.asarray(reference.gradient_at(train_trace.s), dtype=float)
-        ann.fit_recording(train_rec, labels)
+        with tel.span("ann_train"):
+            ann = ANNGradientEstimator(cfg.ann)
+            train_trace = simulate_trip(
+                profile,
+                driver=_driver_for_trip(cfg, 9999),
+                config=SimulationConfig(sample_rate=cfg.sample_rate),
+                seed=cfg.seed * 31337 + 1,
+            )
+            train_rec = Smartphone().with_noise_scale(cfg.noise_scale).record(
+                train_trace, np.random.default_rng(cfg.seed * 31337 + 2)
+            )
+            labels = np.asarray(reference.gradient_at(train_trace.s), dtype=float)
+            ann.fit_recording(train_rec, labels)
 
     ops_results: list[EstimationResult] = []
     per_method_thetas: dict[str, list[np.ndarray]] = {m: [] for m in methods}
@@ -255,36 +267,42 @@ def evaluate_methods(
             (e.t_start, e.t_end, e.direction) for e in result.events
         )
         aligned_s = result.aligned.s
-        if "ekf" in methods:
-            track = estimate_gradient_ekf_baseline(
-                rec, aligned_s, config=AltitudeEKFConfig(stride=cfg.baseline_stride)
+        with tel.span("baselines"):
+            if "ekf" in methods:
+                track = estimate_gradient_ekf_baseline(
+                    rec, aligned_s, config=AltitudeEKFConfig(stride=cfg.baseline_stride)
+                )
+                theta, _ = track.resample(s_grid)
+                per_method_thetas["ekf"].append(theta)
+            if "ann" in methods and ann is not None:
+                track = ann.estimate_track(rec, aligned_s, stride=cfg.baseline_stride)
+                theta, _ = track.resample(s_grid)
+                per_method_thetas["ann"].append(theta)
+            if "barometer" in methods:
+                track = estimate_gradient_barometer(rec, aligned_s)
+                theta, _ = track.resample(s_grid)
+                per_method_thetas["barometer"].append(theta)
+
+    with tel.span("score"):
+        method_results: dict[str, MethodEstimate] = {}
+        if "ops" in methods:
+            fused = (
+                fuse_estimates(ops_results, s_grid, telemetry=tel)
+                if len(ops_results) > 1
+                else None
             )
-            theta, _ = track.resample(s_grid)
-            per_method_thetas["ekf"].append(theta)
-        if "ann" in methods and ann is not None:
-            track = ann.estimate_track(rec, aligned_s, stride=cfg.baseline_stride)
-            theta, _ = track.resample(s_grid)
-            per_method_thetas["ann"].append(theta)
-        if "barometer" in methods:
-            track = estimate_gradient_barometer(rec, aligned_s)
-            theta, _ = track.resample(s_grid)
-            per_method_thetas["barometer"].append(theta)
+            theta = (
+                fused.theta
+                if fused is not None
+                else np.interp(s_grid, ops_results[0].fused.s, ops_results[0].fused.theta)
+            )
+            method_results["ops"] = _score("ops", theta, truth)
+        for name in ("ekf", "ann", "barometer"):
+            if name in methods:
+                theta = np.mean(np.stack(per_method_thetas[name]), axis=0)
+                method_results[name] = _score(name, theta, truth)
 
-    method_results: dict[str, MethodEstimate] = {}
-    if "ops" in methods:
-        fused = fuse_estimates(ops_results, s_grid) if len(ops_results) > 1 else None
-        theta = (
-            fused.theta
-            if fused is not None
-            else np.interp(s_grid, ops_results[0].fused.s, ops_results[0].fused.theta)
-        )
-        method_results["ops"] = _score("ops", theta, truth)
-    for name in ("ekf", "ann", "barometer"):
-        if name in methods:
-            theta = np.mean(np.stack(per_method_thetas[name]), axis=0)
-            method_results[name] = _score(name, theta, truth)
-
-    detection = score_lane_change_detection(detected_events, truth_events)
+        detection = score_lane_change_detection(detected_events, truth_events)
     return ComparisonResult(
         profile=profile,
         s_grid=s_grid,
@@ -299,6 +317,7 @@ def evaluate_fusion_counts(
     profile: RoadProfile,
     cfg: RunnerConfig | None = None,
     subsets: dict[int, tuple[str, ...]] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict[int, np.ndarray]:
     """Fig 8(b): absolute-error samples per number of fused tracks.
 
@@ -306,17 +325,21 @@ def evaluate_fusion_counts(
     sources; returns ``{n_tracks: errors [rad]}`` against the reference.
     """
     cfg = cfg or RunnerConfig()
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     subsets = subsets or FUSION_SUBSETS
-    reference = survey_reference_profile(profile).smoothed(cfg.reference_smooth_m)
-    s_grid = _common_grid(profile, cfg)
-    truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
-    recordings = collect_recordings(profile, cfg)
+    with tel.span("reference"):
+        reference = survey_reference_profile(profile).smoothed(cfg.reference_smooth_m)
+        s_grid = _common_grid(profile, cfg)
+        truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
+    recordings = collect_recordings(profile, cfg, telemetry=tel)
 
     out: dict[int, np.ndarray] = {}
     for n_tracks, sources in sorted(subsets.items()):
-        system = make_system(profile, cfg, velocity_sources=sources)
+        system = make_system(profile, cfg, velocity_sources=sources, telemetry=tel)
         results = [system.estimate(rec) for _, rec in recordings]
-        fused = fuse_estimates(results, s_grid) if len(results) > 1 else None
+        fused = (
+            fuse_estimates(results, s_grid, telemetry=tel) if len(results) > 1 else None
+        )
         theta = (
             fused.theta
             if fused is not None

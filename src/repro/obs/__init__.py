@@ -1,0 +1,51 @@
+"""Observability for the estimation stack: tracing, metrics, logging, export.
+
+The subsystem is deliberately dependency-free (stdlib + numpy) and splits
+into four layers:
+
+* :mod:`~repro.obs.trace` — nested span timers (``with tel.span("stage")``);
+* :mod:`~repro.obs.metrics` — process-local counters/gauges/histograms;
+* :mod:`~repro.obs.logging` — structured ``key=value`` / JSON-lines logs,
+  switched by the ``REPRO_TELEMETRY`` environment variable;
+* :mod:`~repro.obs.export` — dump a run's spans + metrics to dict/JSON/JSONL.
+
+:class:`Telemetry` bundles the three primitives and is what the pipeline
+threads through its stages; :class:`NullTelemetry` (shared instance
+:data:`NULL_TELEMETRY`) is the no-op default that keeps the hot paths free
+when observability is off.
+"""
+
+from .export import export_run, write_json, write_jsonl
+from .logging import (
+    ENV_SWITCH,
+    JsonLinesFormatter,
+    KeyValueFormatter,
+    get_logger,
+    log_format,
+    telemetry_enabled,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, from_env
+from .trace import Span, Tracer
+
+__all__ = [
+    "ENV_SWITCH",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesFormatter",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "export_run",
+    "from_env",
+    "get_logger",
+    "log_format",
+    "telemetry_enabled",
+    "write_json",
+    "write_jsonl",
+]

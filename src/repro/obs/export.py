@@ -1,0 +1,66 @@
+"""Export a run's telemetry — span tree plus metrics — as JSON artifacts.
+
+:func:`export_run` returns a plain dict (always ``json.dumps``-able);
+:func:`write_json` dumps that dict to a file; :func:`write_jsonl` emits a
+flat JSON-lines stream (one record per span and per metric) for line-based
+ingestion. :class:`NullTelemetry` is re-exported here so callers that only
+need "telemetry off" can import everything from one module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+from .trace import Span
+
+__all__ = ["export_run", "write_json", "write_jsonl", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+def export_run(telemetry: Telemetry) -> dict:
+    """Everything one run recorded, as a JSON-serialisable dict."""
+    return {
+        "name": telemetry.name,
+        "active": telemetry.active,
+        "spans": telemetry.tracer.to_list(),
+        "metrics": telemetry.metrics.snapshot(),
+    }
+
+
+def write_json(telemetry: Telemetry, path: str | Path, indent: int = 2) -> Path:
+    """Dump :func:`export_run` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(export_run(telemetry), indent=indent, sort_keys=True))
+    return path
+
+
+def _span_records(span: Span, prefix: str) -> list[dict]:
+    path = f"{prefix}/{span.name}" if prefix else span.name
+    record: dict = {"type": "span", "path": path, "duration_s": span.duration}
+    if span.attributes:
+        record["attributes"] = dict(span.attributes)
+    records = [record]
+    for child in span.children:
+        records.extend(_span_records(child, path))
+    return records
+
+
+def write_jsonl(telemetry: Telemetry, path: str | Path) -> Path:
+    """Flat JSON-lines dump: one record per span and per metric."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for root in telemetry.tracer.roots:
+            for record in _span_records(root, ""):
+                fh.write(json.dumps(record, default=str) + "\n")
+        metrics = telemetry.metrics.snapshot()
+        for kind_key, kind in (
+            ("counters", "counter"),
+            ("gauges", "gauge"),
+            ("histograms", "histogram"),
+        ):
+            for name, value in metrics[kind_key].items():
+                fh.write(
+                    json.dumps({"type": kind, "name": name, "value": value}) + "\n"
+                )
+    return path

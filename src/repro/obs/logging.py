@@ -1,0 +1,126 @@
+"""Structured logging for the pipeline: key=value or JSON-lines records.
+
+The ``REPRO_TELEMETRY`` environment variable is the single switch:
+
+* unset / ``0`` / ``false`` / ``off`` — telemetry disabled
+  (:func:`repro.obs.telemetry.from_env` hands out the no-op telemetry);
+* ``1`` / ``true`` / ``on`` / ``kv`` — enabled, human-readable
+  ``key=value`` log lines;
+* ``json`` — enabled, one JSON object per log line (machine-ingestable).
+
+Loggers built by :func:`get_logger` carry structured fields through the
+standard :mod:`logging` ``extra`` mechanism under the ``fields`` key::
+
+    log.info("stream.divergence", extra={"fields": {"tick": 512}})
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+import sys
+from typing import IO
+
+__all__ = [
+    "ENV_SWITCH",
+    "KeyValueFormatter",
+    "JsonLinesFormatter",
+    "get_logger",
+    "log_format",
+    "telemetry_enabled",
+]
+
+#: Environment variable controlling telemetry and its log format.
+ENV_SWITCH = "REPRO_TELEMETRY"
+
+_DISABLED_VALUES = ("", "0", "false", "off")
+
+
+def telemetry_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` asks for live telemetry."""
+    return os.environ.get(ENV_SWITCH, "").strip().lower() not in _DISABLED_VALUES
+
+
+def log_format() -> str:
+    """``"json"`` when ``REPRO_TELEMETRY=json``, else ``"kv"``."""
+    value = os.environ.get(ENV_SWITCH, "").strip().lower()
+    return "json" if value == "json" else "kv"
+
+
+def _record_fields(record: logging.LogRecord) -> dict:
+    base = {
+        "ts": record.created,
+        "level": record.levelname.lower(),
+        "logger": record.name,
+        "event": record.getMessage(),
+    }
+    extra = getattr(record, "fields", None)
+    if extra:
+        base.update(extra)
+    return base
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``k=v`` pairs, values quoted only when they contain whitespace."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = []
+        for key, value in _record_fields(record).items():
+            if isinstance(value, float):
+                text = repr(float(value))
+            else:
+                text = str(value)
+            if any(ch.isspace() for ch in text) or text == "":
+                text = json.dumps(text)
+            parts.append(f"{key}={text}")
+        return " ".join(parts)
+
+
+def _json_safe(value):
+    # Non-finite floats have no strict-JSON encoding; stringify them so the
+    # divergence event (whose whole point is reporting NaN state) stays
+    # parseable by jq and non-Python consumers.
+    if isinstance(value, float):
+        return float(value) if math.isfinite(value) else repr(float(value))
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record; non-finite floats become strings."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(_json_safe(_record_fields(record)), default=str)
+
+
+class _TelemetryHandler(logging.StreamHandler):
+    """Marker subclass so ``get_logger`` stays idempotent."""
+
+
+def get_logger(
+    name: str = "repro",
+    stream: IO[str] | None = None,
+    fmt: str | None = None,
+) -> logging.Logger:
+    """A configured structured logger (idempotent per name).
+
+    ``fmt`` forces ``"kv"`` or ``"json"``; by default the format follows
+    ``REPRO_TELEMETRY``. The logger does not propagate, so pipeline logs
+    never double-print through the root logger.
+    """
+    logger = logging.getLogger(name)
+    if not any(isinstance(h, _TelemetryHandler) for h in logger.handlers):
+        handler = _TelemetryHandler(stream or sys.stderr)
+        chosen = fmt or log_format()
+        handler.setFormatter(
+            JsonLinesFormatter() if chosen == "json" else KeyValueFormatter()
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+        logger.setLevel(logging.INFO)
+    return logger

@@ -1,0 +1,169 @@
+"""Process-local pipeline metrics: counters, gauges, and histograms.
+
+The :class:`MetricsRegistry` is a plain in-process store with get-or-create
+semantics::
+
+    registry.counter("ekf_ticks").inc(n)
+    registry.gauge("alignment.yaw_offset").set(0.01)
+    registry.histogram("ekf_innovation_abs").observe_many(abs_innovations)
+
+``reset()`` zeroes every metric while keeping the registrations, so one
+registry can be reused across runs; ``snapshot()`` returns a
+JSON-serialisable dict. Counters/gauges/histograms live in separate
+namespaces, mirroring Prometheus-style conventions. Not thread-safe —
+one registry per pipeline instance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-value-wins instantaneous reading (None until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = None
+
+    def snapshot(self) -> float | None:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/last).
+
+    Deliberately keeps no per-sample storage so hot loops can feed it; for
+    bulk recording use :meth:`observe_many` with an array.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+
+    def observe_many(self, values) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        self.count += int(arr.size)
+        self.total += float(np.sum(arr))
+        lo = float(np.min(arr))
+        hi = float(np.max(arr))
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        self.last = float(arr[-1])
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.last = math.nan
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store for one run's counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations (for between-run reuse)."""
+        for group in (self.counters, self.gauges, self.histograms):
+            for metric in group.values():
+                metric.reset()
+
+    def clear(self) -> None:
+        """Forget every metric entirely."""
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable dump of every metric."""
+        return {
+            "counters": {k: m.snapshot() for k, m in sorted(self.counters.items())},
+            "gauges": {k: m.snapshot() for k, m in sorted(self.gauges.items())},
+            "histograms": {k: m.snapshot() for k, m in sorted(self.histograms.items())},
+        }

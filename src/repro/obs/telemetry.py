@@ -1,0 +1,143 @@
+"""The :class:`Telemetry` facade threaded through the estimation stack.
+
+One object bundles the three observability primitives:
+
+* ``tracer`` — a :class:`~repro.obs.trace.Tracer` span tree;
+* ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry`;
+* ``log`` — a structured logger from :mod:`repro.obs.logging`.
+
+Pipeline components accept ``telemetry=None`` and fall back to
+:data:`NULL_TELEMETRY`, a shared :class:`NullTelemetry` whose every method
+is a no-op — so the hot paths pay nothing when observability is off, and
+outputs are bit-identical either way. :func:`from_env` picks between the
+two based on the ``REPRO_TELEMETRY`` environment switch.
+"""
+
+from __future__ import annotations
+
+import logging as _stdlib_logging
+
+from .logging import get_logger, telemetry_enabled
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY", "from_env"]
+
+
+class Telemetry:
+    """Live telemetry: spans, metrics, and structured events for one run."""
+
+    #: Fast flag hot paths may check to skip instrumentation entirely.
+    active: bool = True
+
+    def __init__(
+        self,
+        name: str = "repro",
+        logger: _stdlib_logging.Logger | None = None,
+    ) -> None:
+        self.name = name
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.log = logger if logger is not None else get_logger(f"repro.obs.{name}")
+
+    # -- tracing -------------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> Span:
+        """A context-manager span nested under the currently open one."""
+        return self.tracer.span(name, **attributes)
+
+    # -- metrics -------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    def observe_many(self, name: str, values) -> None:
+        self.metrics.histogram(name).observe_many(values)
+
+    # -- structured events ---------------------------------------------------
+
+    def event(self, name: str, level: int = _stdlib_logging.INFO, **fields) -> None:
+        """Emit one structured log record (``key=value`` or JSON line)."""
+        self.log.log(level, name, extra={"fields": fields})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear spans and zero metrics between runs."""
+        self.tracer.reset()
+        self.metrics.reset()
+
+
+class _NullSpan:
+    """A single reusable no-op span; safe to re-enter and nest."""
+
+    __slots__ = ()
+    name = "null"
+    attributes: dict = {}
+    children: tuple = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+_null_logger = _stdlib_logging.getLogger("repro.obs.null")
+_null_logger.addHandler(_stdlib_logging.NullHandler())
+_null_logger.propagate = False
+_null_logger.setLevel(_stdlib_logging.CRITICAL + 1)
+
+
+class NullTelemetry(Telemetry):
+    """No-op telemetry: the default when observability is disabled.
+
+    Keeps empty ``tracer``/``metrics`` so exporters work uniformly, but
+    records nothing. Pipeline outputs with a ``NullTelemetry`` are
+    bit-identical to running with no telemetry argument at all.
+    """
+
+    active = False
+
+    def __init__(self, name: str = "null") -> None:
+        super().__init__(name=name, logger=_null_logger)
+
+    def span(self, name: str, **attributes) -> Span:  # type: ignore[override]
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def observe_many(self, name: str, values) -> None:
+        pass
+
+    def event(self, name: str, level: int = _stdlib_logging.INFO, **fields) -> None:
+        pass
+
+
+#: Shared no-op instance used as the default throughout the pipeline.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def from_env(name: str = "repro") -> Telemetry:
+    """Live :class:`Telemetry` when ``REPRO_TELEMETRY`` enables it, else
+    the shared :data:`NULL_TELEMETRY`."""
+    return Telemetry(name) if telemetry_enabled() else NULL_TELEMETRY

@@ -1,0 +1,135 @@
+"""Lightweight span/timer tracing for the estimation pipeline.
+
+A :class:`Tracer` records a tree of named :class:`Span` objects. Spans are
+context managers::
+
+    tracer = Tracer()
+    with tracer.span("estimate"):
+        with tracer.span("alignment"):
+            ...
+
+Timing uses ``time.perf_counter`` and the implementation is pure stdlib —
+no third-party dependency and no I/O. Nesting is tracked with an explicit
+stack, so the tracer is process-local and not thread-safe (one tracer per
+pipeline instance, matching how telemetry is threaded through the code).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed stage of a run.
+
+    ``t_start``/``t_end`` are ``perf_counter`` readings; ``attributes``
+    carries small key/value annotations (velocity source, trip index, ...).
+    """
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    t_start: float = 0.0
+    t_end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds; reads the clock while the span is open."""
+        end = time.perf_counter() if self.t_end is None else self.t_end
+        return end - self.t_start
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes to the span; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation of the subtree."""
+        out: dict = {"name": self.name, "duration_s": self.duration}
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __enter__(self) -> "Span":
+        self.t_start = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.t_end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._close(self)
+        return False
+
+
+class Tracer:
+    """Records a forest of spans for one run."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span that attaches itself to the tree when entered."""
+        return Span(name=name, attributes=attributes, _tracer=self)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Drop all recorded spans (e.g. between runs)."""
+        self.roots = []
+        self._stack = []
+
+    def find(self, name: str) -> Span | None:
+        """First recorded span with the given name, depth-first."""
+        for root in self.roots:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def to_list(self) -> list[dict]:
+        """JSON-serialisable list of root span trees."""
+        return [root.to_dict() for root in self.roots]
+
+    # -- bookkeeping used by Span.__enter__/__exit__ -------------------------
+
+    def _open(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # Tolerate out-of-order exits: pop until the span is gone.
+        while self._stack:
+            if self._stack.pop() is span:
+                break

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import AlignmentError
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..roads.profile import RoadProfile
 from .base import SampledSignal
 from .gps import GPSFixes
@@ -153,8 +154,11 @@ def map_match(
 class CoordinateAlignment:
     """Builds the aligned steering-rate profile for one recording."""
 
-    def __init__(self, profile: RoadProfile) -> None:
+    def __init__(
+        self, profile: RoadProfile, telemetry: Telemetry | None = None
+    ) -> None:
         self.profile = profile
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def align(
         self,
@@ -201,6 +205,16 @@ class CoordinateAlignment:
         curvature = self.profile.curvature_at(np.where(np.isfinite(s), s, 0.0))
         w_road = np.where(known, curvature * v, 0.0)
         w_steer = gyro.values - w_road
+
+        tel = self.telemetry
+        if tel.active:
+            matched = int(np.count_nonzero(np.isfinite(s_fix)))
+            tel.count("alignment.samples", len(t))
+            tel.count("alignment.gps_fixes", len(gps))
+            tel.count("alignment.matched_fixes", matched)
+            tel.count("alignment.dropped_fixes", len(gps) - matched)
+            tel.count("alignment.outage_samples", int(np.count_nonzero(~known)))
+            tel.gauge("alignment.yaw_offset", float(yaw_offset_truth))
 
         return AlignedSteering(
             t=t,

@@ -42,6 +42,31 @@ class TestEstimate:
             np.interp(mid, result.fused.s, result.fused.theta)
         )
 
+    def test_gradient_at_scalar_vs_array_paths(self, system_and_result):
+        _, result = system_and_result
+        mid = float(result.s_grid[len(result.s_grid) // 2])
+        scalar = result.gradient_at(mid)
+        assert isinstance(scalar, float)
+        arr = result.gradient_at(np.array([mid, mid + 5.0]))
+        assert isinstance(arr, np.ndarray)
+        assert arr.shape == (2,)
+        assert arr[0] == pytest.approx(scalar)
+        # A length-1 array stays an array, never collapses to a scalar.
+        one = result.gradient_at(np.array([mid]))
+        assert isinstance(one, np.ndarray)
+        assert one.shape == (1,)
+        assert float(one[0]) == pytest.approx(scalar)
+
+    def test_gradient_at_clamps_outside_grid(self, system_and_result):
+        _, result = system_and_result
+        lo, hi = float(result.fused.s[0]), float(result.fused.s[-1])
+        # np.interp clamps to the edge values beyond the covered grid.
+        assert result.gradient_at(lo - 500.0) == pytest.approx(result.fused.theta[0])
+        assert result.gradient_at(hi + 500.0) == pytest.approx(result.fused.theta[-1])
+        both = result.gradient_at(np.array([lo - 500.0, hi + 500.0]))
+        assert both[0] == pytest.approx(result.fused.theta[0])
+        assert both[1] == pytest.approx(result.fused.theta[-1])
+
     def test_lane_changes_detected(self, system_and_result, hill_recording):
         _, result = system_and_result
         truth_events = hill_recording.truth.lane_change_intervals()
@@ -71,6 +96,10 @@ class TestConfig:
     def test_empty_sources_rejected(self):
         with pytest.raises(EstimationError):
             GradientSystemConfig(velocity_sources=())
+
+    def test_duplicate_sources_rejected(self):
+        with pytest.raises(EstimationError, match="duplicate.*gps"):
+            GradientSystemConfig(velocity_sources=("gps", "speedometer", "gps"))
 
     def test_bad_grid_spacing(self):
         with pytest.raises(EstimationError):

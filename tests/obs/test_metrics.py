@@ -1,0 +1,103 @@
+"""Metrics registry tests."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        reg.counter("ticks").inc()
+        reg.counter("ticks").inc(4)
+        assert reg.counter("ticks") is reg.counters["ticks"]
+        assert reg.counter("ticks").value == 5
+
+    def test_reset_between_runs_keeps_registration(self):
+        reg = MetricsRegistry()
+        reg.counter("ticks").inc(7)
+        handle = reg.counter("ticks")
+        reg.reset()
+        assert handle.value == 0
+        assert reg.counter("ticks") is handle  # same object survives the reset
+
+    def test_clear_forgets_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("ticks").inc()
+        reg.clear()
+        assert reg.counters == {}
+
+
+class TestGauges:
+    def test_last_value_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("yaw").set(0.1)
+        reg.gauge("yaw").set(-0.2)
+        assert reg.gauge("yaw").value == -0.2
+
+    def test_reset_to_none(self):
+        reg = MetricsRegistry()
+        reg.gauge("yaw").set(1.0)
+        reg.reset()
+        assert reg.gauge("yaw").value is None
+
+
+class TestHistograms:
+    def test_observe_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("inno")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+        assert h.last == 2.0
+
+    def test_observe_many_matches_observe(self):
+        reg = MetricsRegistry()
+        values = np.abs(np.random.default_rng(0).normal(size=100))
+        reg.histogram("bulk").observe_many(values)
+        loop = reg.histogram("loop")
+        for v in values:
+            loop.observe(float(v))
+        bulk = reg.histogram("bulk")
+        assert bulk.count == loop.count
+        # np.sum is pairwise, the loop is sequential — equal only to rounding.
+        assert bulk.total == pytest.approx(loop.total)
+        assert bulk.min == loop.min
+        assert bulk.max == loop.max
+        assert bulk.last == loop.last
+
+    def test_observe_many_empty_is_noop(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty").observe_many([])
+        assert reg.histogram("empty").count == 0
+
+    def test_empty_mean_is_nan(self):
+        reg = MetricsRegistry()
+        assert math.isnan(reg.histogram("none").mean)
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(5.0)
+        reg.reset()
+        assert reg.histogram("h").count == 0
+        assert reg.histogram("h").snapshot() == {"count": 0}
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["mean"] == 2.0

@@ -1,0 +1,101 @@
+"""Span/timer tracing tests."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestSpanNesting:
+    def test_spans_nest_correctly(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("a"):
+            assert tracer.current.name == "a"
+            with tracer.span("b"):
+                assert tracer.current.name == "b"
+            assert tracer.current.name == "a"
+        assert tracer.current is None
+
+    def test_durations_nonzero_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert inner.duration > 0.0
+        assert outer.duration >= inner.duration
+
+    def test_exception_closes_span_and_tags_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        span = tracer.roots[0]
+        assert span.t_end is not None
+        assert span.attributes["error"] == "ValueError"
+        assert tracer.current is None
+
+
+class TestSpanData:
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("stage", source="gps") as span:
+            span.set(n_events=3)
+        assert span.attributes == {"source": "gps", "n_events": 3}
+
+    def test_find_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("x"):
+                with tracer.span("target"):
+                    pass
+        assert tracer.find("target").name == "target"
+        assert tracer.find("missing") is None
+
+    def test_to_dict_serialisable(self):
+        tracer = Tracer()
+        with tracer.span("root", kind="test"):
+            with tracer.span("child"):
+                pass
+        [tree] = tracer.to_list()
+        encoded = json.loads(json.dumps(tree))
+        assert encoded["name"] == "root"
+        assert encoded["attributes"] == {"kind": "test"}
+        assert encoded["children"][0]["name"] == "child"
+        assert encoded["duration_s"] >= 0.0
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer()
+        with tracer.span("run1"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.current is None
+        with tracer.span("run2"):
+            pass
+        assert [r.name for r in tracer.roots] == ["run2"]
