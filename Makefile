@@ -2,12 +2,15 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check test bench-smoke bench
+.PHONY: check test fast bench-smoke bench bench-batch
 
 check: test bench-smoke
 
 test:
 	$(PYTEST) -x -q
+
+fast:
+	$(PYTEST) -q -m "not slow"
 
 bench-smoke:
 	$(PYTEST) benchmarks/bench_obs_overhead.py -q -p no:cacheprovider
@@ -17,3 +20,7 @@ bench-smoke:
 
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only -s
+
+bench-batch:
+	$(PYTEST) benchmarks/bench_batch_vs_scalar.py -q -p no:cacheprovider
+	PYTHONPATH=src python benchmarks/bench_batch_vs_scalar.py

@@ -1,5 +1,6 @@
 """Core contribution: EKF gradient estimation, lane-change handling, fusion."""
 
+from .batch import estimate_tracks_batch
 from .bias_ekf import BiasEKFConfig, estimate_track_bias_augmented
 from .ekf import EKFModel, ExtendedKalmanFilter
 from .online import StreamingGradientEstimator, StreamState
@@ -37,6 +38,7 @@ __all__ = [
     "StreamState",
     "GradientEKFConfig",
     "estimate_track",
+    "estimate_tracks_batch",
     "estimate_track_generic",
     "measurements_on_timebase",
     "PAPER_THRESHOLDS",

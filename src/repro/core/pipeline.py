@@ -22,10 +22,13 @@ import numpy as np
 
 from ..errors import EstimationError
 from ..obs import NULL_TELEMETRY, Telemetry
+from ..roads.cache import CachedRoadProfile
 from ..roads.profile import RoadProfile
 from ..sensors.alignment import AlignedSteering, CoordinateAlignment
+from ..sensors.base import SampledSignal
 from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording
 from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
+from .batch import estimate_tracks_batch
 from .gradient_ekf import GradientEKFConfig, estimate_track
 from .lane_change.correction import correct_velocity_signal
 from .lane_change.detector import LaneChangeDetector, LaneChangeDetectorConfig, LaneChangeEvent
@@ -47,6 +50,16 @@ class GradientSystemConfig:
         Eq 2 on/off — the lane-change ablation switch.
     fusion_grid_spacing:
         Position grid step [m] for track fusion and the final profile.
+    ekf_engine:
+        ``"batch"`` (default) runs all velocity-source tracks through the
+        vectorized :func:`~repro.core.batch.estimate_tracks_batch` engine;
+        ``"scalar"`` keeps one :func:`estimate_track` call per source.
+        Outputs agree elementwise to well under 1e-9 (pinned by the batch
+        equivalence suite); the batch engine is ~3x faster with 4 sources.
+    cache_geometry:
+        Wrap the road map in a :class:`~repro.roads.cache.CachedRoadProfile`
+        so repeated geometry queries (curvature for ``w_road``, arc-length
+        interpolation) across trips hit an LRU instead of re-interpolating.
     """
 
     ekf: GradientEKFConfig = field(default_factory=GradientEKFConfig)
@@ -54,13 +67,21 @@ class GradientSystemConfig:
     velocity_sources: tuple[str, ...] = VELOCITY_SOURCES
     apply_lane_change_correction: bool = True
     fusion_grid_spacing: float = 5.0
+    ekf_engine: str = "batch"
+    cache_geometry: bool = True
 
     def __post_init__(self) -> None:
-        unknown = set(self.velocity_sources) - set(VELOCITY_SOURCES)
+        unknown = [s for s in self.velocity_sources if s not in VELOCITY_SOURCES]
         if unknown:
-            raise EstimationError(f"unknown velocity sources: {sorted(unknown)}")
+            raise EstimationError(
+                f"unknown velocity sources: {sorted(set(unknown))}; "
+                f"valid options are {list(VELOCITY_SOURCES)}"
+            )
         if not self.velocity_sources:
-            raise EstimationError("at least one velocity source is required")
+            raise EstimationError(
+                f"at least one velocity source is required; "
+                f"valid options are {list(VELOCITY_SOURCES)}"
+            )
         if len(set(self.velocity_sources)) != len(self.velocity_sources):
             seen: set[str] = set()
             dupes = sorted(
@@ -69,6 +90,11 @@ class GradientSystemConfig:
             raise EstimationError(f"duplicate velocity sources: {dupes}")
         if self.fusion_grid_spacing <= 0.0:
             raise EstimationError("fusion grid spacing must be positive")
+        if self.ekf_engine not in ("batch", "scalar"):
+            raise EstimationError(
+                f"unknown ekf_engine {self.ekf_engine!r}; "
+                f"valid options are ['batch', 'scalar']"
+            )
 
 
 @dataclass
@@ -113,9 +139,11 @@ class GradientEstimationSystem:
         config: GradientSystemConfig | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
+        self.config = config or GradientSystemConfig()
+        if self.config.cache_geometry and not isinstance(road_map, CachedRoadProfile):
+            road_map = CachedRoadProfile(road_map)
         self.road_map = road_map
         self.vehicle = vehicle or DEFAULT_VEHICLE
-        self.config = config or GradientSystemConfig()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._alignment = CoordinateAlignment(road_map, telemetry=self.telemetry)
         self._detector = LaneChangeDetector(self.config.detector, telemetry=self.telemetry)
@@ -140,9 +168,13 @@ class GradientEstimationSystem:
                 )
                 lc_span.set(n_events=len(events))
 
-            # Stage 3: one gradient track per velocity source.
+            # Stage 3: one gradient track per velocity source. The corrected
+            # velocity signals are prepared per source; the EKF then runs
+            # either vectorized across all sources at once (engine "batch")
+            # or source-by-source (engine "scalar") — outputs agree to well
+            # under 1e-9 either way (see tests/core/test_batch_equivalence).
             with tel.span("ekf_tracks"):
-                tracks: dict[str, GradientTrack] = {}
+                signals: list[SampledSignal] = []
                 for source in cfg.velocity_sources:
                     with tel.span("track", source=source):
                         signal = recording.velocity_source(source)
@@ -150,6 +182,22 @@ class GradientEstimationSystem:
                             signal = correct_velocity_signal(
                                 signal, aligned.t, w_smooth, events
                             )
+                        signals.append(signal)
+                tracks: dict[str, GradientTrack] = {}
+                if cfg.ekf_engine == "batch" and len(signals) > 1:
+                    n = len(signals)
+                    batch = estimate_tracks_batch(
+                        [recording.accel_long] * n,
+                        signals,
+                        [aligned.s] * n,
+                        vehicle=self.vehicle,
+                        config=cfg.ekf,
+                        names=list(cfg.velocity_sources),
+                        telemetry=tel,
+                    )
+                    tracks = dict(zip(cfg.velocity_sources, batch))
+                else:
+                    for source, signal in zip(cfg.velocity_sources, signals):
                         tracks[source] = estimate_track(
                             recording.accel_long,
                             signal,

@@ -9,6 +9,7 @@ from .metrics import (
     mean_relative_error,
     score_lane_change_detection,
 )
+from .parallel import EvalReport, ParallelConfig, TripOutcome, evaluate_trips
 from .runner import (
     FUSION_SUBSETS,
     ComparisonResult,
@@ -18,6 +19,7 @@ from .runner import (
     evaluate_fusion_counts,
     evaluate_methods,
     make_system,
+    simulate_recording,
 )
 from .tables import format_value, render_series, render_table
 
@@ -29,6 +31,10 @@ __all__ = [
     "mean_absolute_error",
     "mean_relative_error",
     "score_lane_change_detection",
+    "EvalReport",
+    "ParallelConfig",
+    "TripOutcome",
+    "evaluate_trips",
     "FUSION_SUBSETS",
     "ComparisonResult",
     "MethodEstimate",
@@ -37,6 +43,7 @@ __all__ = [
     "evaluate_fusion_counts",
     "evaluate_methods",
     "make_system",
+    "simulate_recording",
     "format_value",
     "render_series",
     "render_table",

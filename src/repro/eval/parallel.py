@@ -1,0 +1,268 @@
+"""Parallel evaluation engine: fan trips out over a worker pool.
+
+The serial runner (:mod:`repro.eval.runner`) simulates and estimates trips
+one after another; crowd-sourced workloads (many vehicles per road segment)
+are embarrassingly parallel across trips. :func:`evaluate_trips` runs every
+trip — simulate, record, estimate, score — as an independent task on a
+``concurrent.futures`` pool and merges the per-trip results into one
+:class:`EvalReport`.
+
+Determinism and report equality
+-------------------------------
+Each trip is seeded by ``(cfg.seed, trip_index)`` alone (see
+:func:`repro.eval.runner.simulate_recording`), and merge order is always
+trip-index order, so the report is identical for the ``serial``,
+``thread`` and ``process`` backends — pinned by
+``tests/eval/test_parallel_runner.py``.
+
+Fault tolerance
+---------------
+A trip that raises degrades the run to a *partial* report instead of
+killing it: the failed trip is recorded with its error string, the
+``eval.worker_failed`` telemetry counter increments, and fusion proceeds
+over the surviving trips. Only a run with zero surviving trips raises.
+
+Telemetry
+---------
+Workers cannot share the caller's registry, so each runs with its own
+:class:`~repro.obs.Telemetry` and ships back a metrics snapshot; the
+parent folds the snapshots in trip order via
+:meth:`~repro.obs.MetricsRegistry.merge_snapshot`, reproducing exactly the
+counters a serial run would have accumulated.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.track import GradientTrack
+from ..core.track_fusion import fuse_tracks
+from ..errors import ConfigurationError, EstimationError
+from ..obs import NULL_TELEMETRY, Telemetry
+from ..roads.profile import RoadProfile
+from ..roads.reference import survey_reference_profile
+from .metrics import mean_absolute_error, mean_relative_error
+from .runner import RunnerConfig, _common_grid, make_system, simulate_recording
+
+__all__ = ["ParallelConfig", "TripOutcome", "EvalReport", "evaluate_trips"]
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to fan trips out.
+
+    ``thread`` (default) keeps everything in-process — numpy does the heavy
+    lifting, so threads already overlap well and nothing needs pickling.
+    ``process`` buys full parallelism for CPU-bound sweeps at the cost of
+    shipping the profile and results across process boundaries. ``serial``
+    runs the identical code path inline; it is the reference the parallel
+    backends are pinned against.
+    """
+
+    max_workers: int = 4
+    backend: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown parallel backend {self.backend!r}; "
+                f"valid options are {list(_BACKENDS)}"
+            )
+        if self.max_workers < 1:
+            raise ConfigurationError("need at least one worker")
+
+
+@dataclass
+class TripOutcome:
+    """One trip's contribution to the report (or its failure record)."""
+
+    index: int
+    ok: bool
+    error: str = ""
+    n_lane_changes: int = 0
+    theta: np.ndarray | None = None  # on the report grid
+    fused: GradientTrack | None = None
+    mae_deg: float = float("nan")
+    mre: float = float("nan")
+    metrics: dict = field(default_factory=dict)  # worker metrics snapshot
+
+
+@dataclass
+class EvalReport:
+    """Merged result of a (possibly partial) multi-trip evaluation."""
+
+    profile_name: str
+    n_trips: int
+    s_grid: np.ndarray
+    truth: np.ndarray
+    trips: list[TripOutcome]
+    fused_theta: np.ndarray
+    mae_deg: float
+    mre: float
+
+    @property
+    def n_failed(self) -> int:
+        """Trips that crashed and were excluded from fusion."""
+        return sum(1 for t in self.trips if not t.ok)
+
+    def summary(self) -> dict:
+        """JSON-able digest (the 'report' parallel/serial equality pins)."""
+        return {
+            "profile": self.profile_name,
+            "n_trips": self.n_trips,
+            "n_failed": self.n_failed,
+            "mae_deg": self.mae_deg,
+            "mre": self.mre,
+            "trips": [
+                {
+                    "index": t.index,
+                    "ok": t.ok,
+                    "error": t.error,
+                    "n_lane_changes": t.n_lane_changes,
+                    "mae_deg": t.mae_deg,
+                    "mre": t.mre,
+                }
+                for t in self.trips
+            ],
+        }
+
+
+def _run_trip(
+    profile: RoadProfile,
+    cfg: RunnerConfig,
+    index: int,
+    s_grid: np.ndarray,
+    truth: np.ndarray,
+    collect_metrics: bool,
+    fault_hook: Callable[[int], None] | None,
+) -> TripOutcome:
+    """Worker body: one trip end to end. Must stay top-level picklable."""
+    if fault_hook is not None:
+        fault_hook(index)
+    worker_tel = Telemetry(f"eval-trip-{index}") if collect_metrics else None
+    _, rec = simulate_recording(profile, cfg, index)
+    system = make_system(profile, cfg, telemetry=worker_tel)
+    result = system.estimate(rec)
+    theta = np.interp(s_grid, result.fused.s, result.fused.theta)
+    return TripOutcome(
+        index=index,
+        ok=True,
+        n_lane_changes=result.n_lane_changes,
+        theta=theta,
+        fused=result.fused,
+        mae_deg=mean_absolute_error(theta, truth, degrees=True),
+        mre=mean_relative_error(theta, truth),
+        metrics=worker_tel.metrics.snapshot() if worker_tel is not None else {},
+    )
+
+
+def evaluate_trips(
+    profile: RoadProfile,
+    cfg: RunnerConfig | None = None,
+    parallel: ParallelConfig | None = None,
+    telemetry: Telemetry | None = None,
+    fault_hook: Callable[[int], None] | None = None,
+) -> EvalReport:
+    """Simulate, estimate and score ``cfg.n_trips`` trips on a worker pool.
+
+    Parameters
+    ----------
+    parallel:
+        Pool sizing and backend; default is a 4-thread pool. All backends
+        produce the identical report.
+    fault_hook:
+        Failure injection for tests: called with each trip index before the
+        trip runs; raising makes that trip a recorded failure. Must be
+        picklable for the ``process`` backend.
+    """
+    cfg = cfg or RunnerConfig()
+    par = parallel or ParallelConfig()
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    with tel.span(
+        "evaluate_trips", n_trips=cfg.n_trips, backend=par.backend
+    ):
+        with tel.span("reference"):
+            reference = survey_reference_profile(profile).smoothed(
+                cfg.reference_smooth_m
+            )
+            s_grid = _common_grid(profile, cfg)
+            truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
+
+        collect_metrics = tel.active
+        args = [
+            (profile, cfg, i, s_grid, truth, collect_metrics, fault_hook)
+            for i in range(cfg.n_trips)
+        ]
+
+        outcomes: list[TripOutcome] = []
+        with tel.span("trips"):
+            if par.backend == "serial":
+                for a in args:
+                    outcomes.append(_guarded_trip(a))
+            else:
+                pool_cls = (
+                    ThreadPoolExecutor
+                    if par.backend == "thread"
+                    else ProcessPoolExecutor
+                )
+                with pool_cls(max_workers=par.max_workers) as pool:
+                    outcomes = list(pool.map(_guarded_trip, args))
+        outcomes.sort(key=lambda o: o.index)
+
+        # Merge: telemetry in trip order, failures counted, survivors fused.
+        survivors: list[TripOutcome] = []
+        for outcome in outcomes:
+            if outcome.ok:
+                survivors.append(outcome)
+                if collect_metrics and outcome.metrics:
+                    tel.metrics.merge_snapshot(outcome.metrics)
+            else:
+                tel.count("eval.worker_failed")
+                tel.event(
+                    "eval.worker_failed", index=outcome.index, error=outcome.error
+                )
+        if not survivors:
+            raise EstimationError(
+                f"all {cfg.n_trips} trips failed; first error: "
+                f"{outcomes[0].error if outcomes else 'none ran'}"
+            )
+
+        with tel.span("fusion", n_tracks=len(survivors)):
+            if len(survivors) > 1:
+                fused = fuse_tracks(
+                    [o.fused for o in survivors],
+                    s_grid,
+                    name="trips-fused",
+                    telemetry=tel,
+                )
+                fused_theta = fused.theta
+            else:
+                fused_theta = survivors[0].theta
+
+    tel.count("eval.parallel_reports")
+    return EvalReport(
+        profile_name=profile.name,
+        n_trips=cfg.n_trips,
+        s_grid=s_grid,
+        truth=truth,
+        trips=outcomes,
+        fused_theta=fused_theta,
+        mae_deg=mean_absolute_error(fused_theta, truth, degrees=True),
+        mre=mean_relative_error(fused_theta, truth),
+    )
+
+
+def _guarded_trip(packed) -> TripOutcome:
+    """Run one trip, converting any exception into a failure outcome."""
+    index = packed[2]
+    try:
+        return _run_trip(*packed)
+    except Exception as exc:  # noqa: BLE001 - deliberate degrade-not-crash
+        return TripOutcome(index=index, ok=False, error=f"{type(exc).__name__}: {exc}")

@@ -57,6 +57,7 @@ __all__ = [
     "MethodEstimate",
     "ComparisonResult",
     "collect_recordings",
+    "simulate_recording",
     "make_system",
     "evaluate_methods",
     "evaluate_fusion_counts",
@@ -144,6 +145,27 @@ def _driver_for_trip(cfg: RunnerConfig, i: int) -> DriverProfile:
     )
 
 
+def simulate_recording(
+    profile: RoadProfile, cfg: RunnerConfig, index: int
+) -> tuple[TruthTrace, PhoneRecording]:
+    """Trip ``index`` of the configured run: simulate and record it.
+
+    Deterministic in ``(cfg.seed, index)`` alone — the same trip produces
+    the same recording whether built serially, out of order, or inside a
+    worker process. This is the seeding contract the parallel runner
+    (:mod:`repro.eval.parallel`) relies on.
+    """
+    trace = simulate_trip(
+        profile,
+        driver=_driver_for_trip(cfg, index),
+        config=SimulationConfig(sample_rate=cfg.sample_rate),
+        seed=cfg.seed * 104729 + index,
+    )
+    phone = Smartphone().with_noise_scale(cfg.noise_scale)
+    rec = phone.record(trace, np.random.default_rng(cfg.seed * 65537 + index))
+    return trace, rec
+
+
 def collect_recordings(
     profile: RoadProfile,
     cfg: RunnerConfig,
@@ -151,21 +173,12 @@ def collect_recordings(
 ) -> list[tuple[TruthTrace, PhoneRecording]]:
     """Simulate the configured trips and record each with a fresh phone."""
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
-    phone = Smartphone().with_noise_scale(cfg.noise_scale)
-    sim_cfg = SimulationConfig(sample_rate=cfg.sample_rate)
     out = []
     with tel.span("collect_recordings", n_trips=cfg.n_trips):
         for i in range(cfg.n_trips):
             with tel.span("trip", index=i):
-                trace = simulate_trip(
-                    profile,
-                    driver=_driver_for_trip(cfg, i),
-                    config=sim_cfg,
-                    seed=cfg.seed * 104729 + i,
-                )
-                rec = phone.record(trace, np.random.default_rng(cfg.seed * 65537 + i))
+                out.append(simulate_recording(profile, cfg, i))
             tel.count("eval.trips_simulated")
-            out.append((trace, rec))
     return out
 
 

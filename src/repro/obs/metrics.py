@@ -167,3 +167,30 @@ class MetricsRegistry:
             "gauges": {k: m.snapshot() for k, m in sorted(self.gauges.items())},
             "histograms": {k: m.snapshot() for k, m in sorted(self.histograms.items())},
         }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-worker merge for parallel evaluation: counters add,
+        gauges keep the merged-last value (callers merge in a
+        deterministic order), histogram summaries combine exactly —
+        count/sum accumulate, min/max widen, ``last`` follows merge order.
+        Merging N worker snapshots in trip order therefore reproduces the
+        registry a serial run over the same trips would have built.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            if not summary.get("count"):
+                continue
+            hist.count += int(summary["count"])
+            hist.total += float(summary["sum"])
+            if summary["min"] < hist.min:
+                hist.min = summary["min"]
+            if summary["max"] > hist.max:
+                hist.max = summary["max"]
+            hist.last = float(summary["last"])

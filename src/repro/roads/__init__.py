@@ -1,6 +1,7 @@
 """Road substrate: geometry, terrain, profiles, networks, reference survey."""
 
 from .builder import SectionSpec, build_profile, s_curve_specs
+from .cache import CachedRoadProfile, LRUCache
 from .elevation import ConstantSlopeField, ElevationField, FlatField
 from .export import dumps_geojson, network_to_geojson, profile_to_geojson
 from .generator import CityGeneratorConfig, generate_city_network
@@ -21,6 +22,8 @@ __all__ = [
     "SectionSpec",
     "build_profile",
     "s_curve_specs",
+    "CachedRoadProfile",
+    "LRUCache",
     "ConstantSlopeField",
     "ElevationField",
     "FlatField",

@@ -1,0 +1,183 @@
+"""Memoization for hot road-geometry queries.
+
+Estimation and evaluation hammer a small set of :class:`RoadProfile`
+queries — curvature for the ``w_road`` steering decomposition, elevation
+and arc-length interpolation for references and grids — usually with the
+*same* query arrays over and over (every trip over a route asks for the
+same fusion grid; every evaluation asks for the same reference grid).
+:class:`CachedRoadProfile` wraps one profile with an LRU keyed on the query
+bytes so repeated lookups cost a dict hit instead of an interpolation pass.
+
+Invalidation rules
+------------------
+A cache is bound to one profile instance and assumes the profile is
+immutable (the library treats profiles as frozen after construction; every
+transform such as :meth:`RoadProfile.subprofile` builds a new object). If
+you mutate a profile's arrays in place anyway, call :meth:`invalidate`
+afterwards — or simply wrap a fresh view. Cached arrays are returned
+non-writeable so accidental in-place edits of shared results fail loudly
+instead of corrupting later hits.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from .profile import RoadProfile
+
+__all__ = ["LRUCache", "CachedRoadProfile"]
+
+
+class LRUCache:
+    """A small thread-safe LRU with hit/miss/eviction accounting.
+
+    ``get_or_compute`` runs the compute callable *outside* the lock; two
+    threads racing on the same key may both compute, but queries are pure
+    so the duplicated work is harmless and the result identical.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get_or_compute(self, key, compute: Callable):
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+                self._data[key] = value  # re-insert as most recent
+                self.hits += 1
+                return value
+            except KeyError:
+                self.misses += 1
+        value = compute()
+        with self._lock:
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def info(self) -> dict:
+        """Hit/size accounting as a JSON-able dict."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class CachedRoadProfile:
+    """A :class:`RoadProfile` view that memoizes its hot queries.
+
+    Delegates every attribute to the wrapped profile; the interpolating
+    queries (``grade_at``, ``elevation_at``, ``heading_at``,
+    ``curvature_at``, ``position_at`` and the derived ``road_turn_rate``)
+    go through one shared LRU keyed on the query's raw bytes. Results are
+    identical to the uncached profile (pinned by
+    ``tests/roads/test_profile_cache.py``); cached arrays come back
+    read-only.
+    """
+
+    _CACHED_QUERIES = (
+        "grade_at",
+        "elevation_at",
+        "heading_at",
+        "curvature_at",
+        "position_at",
+    )
+
+    def __init__(self, profile: RoadProfile, maxsize: int = 64) -> None:
+        self._profile = profile
+        self._cache = LRUCache(maxsize)
+
+    @property
+    def profile(self) -> RoadProfile:
+        """The wrapped, uncached profile."""
+        return self._profile
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._profile, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CachedRoadProfile({self._profile!r}, {self._cache.info()})"
+
+    # -- pickling (worker-pool fan-out ships profiles across processes) ----
+
+    def __getstate__(self) -> dict:
+        return {"profile": self._profile, "maxsize": self._cache.maxsize}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["profile"], maxsize=state["maxsize"])
+
+    # -- cached queries -----------------------------------------------------
+
+    def _query(self, method: str, s):
+        if np.isscalar(s):
+            key = (method, float(s))
+        else:
+            arr = np.asarray(s, dtype=float)
+            key = (method, arr.shape, arr.tobytes())
+
+        def compute():
+            out = getattr(self._profile, method)(s)
+            if isinstance(out, np.ndarray):
+                out.flags.writeable = False
+            return out
+
+        return self._cache.get_or_compute(key, compute)
+
+    def grade_at(self, s):
+        """Road gradient [rad] at arc length ``s`` (memoized)."""
+        return self._query("grade_at", s)
+
+    def elevation_at(self, s):
+        """Elevation [m] at arc length ``s`` (memoized)."""
+        return self._query("elevation_at", s)
+
+    def heading_at(self, s):
+        """Road direction relative to East [rad] at ``s`` (memoized)."""
+        return self._query("heading_at", s)
+
+    def curvature_at(self, s):
+        """Signed curvature [1/m] at ``s`` (memoized)."""
+        return self._query("curvature_at", s)
+
+    def position_at(self, s):
+        """Planar (east, north) position [m] at ``s`` (memoized)."""
+        return self._query("position_at", s)
+
+    def road_turn_rate(self, s, v):
+        """``w_road`` [rad/s] at ``s`` for speed ``v``; reuses the cached
+        curvature lookup, so only the final product is recomputed."""
+        return self.curvature_at(s) * np.asarray(v, dtype=float)
+
+    # -- cache management ---------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached query (use after mutating the profile)."""
+        self._cache.clear()
+
+    def cache_info(self) -> dict:
+        """Hit/miss/eviction counters for observability."""
+        return self._cache.info()

@@ -268,6 +268,16 @@ class RoadProfile:
             frame=self.frame,
         )
 
+    def cached(self, maxsize: int = 64):
+        """A memoizing view of this profile for hot repeated queries.
+
+        See :class:`repro.roads.cache.CachedRoadProfile` for the
+        equivalence and invalidation contract.
+        """
+        from .cache import CachedRoadProfile
+
+        return CachedRoadProfile(self, maxsize=maxsize)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"RoadProfile(name={self.name!r}, length={self.length:.1f} m, "

@@ -1,10 +1,16 @@
 """Streaming gradient estimator tests."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.constants import GRAVITY
-from repro.core.gradient_ekf import GradientEKFConfig, estimate_track
+from repro.core.gradient_ekf import (
+    GradientEKFConfig,
+    estimate_track,
+    measurements_on_timebase,
+)
 from repro.core.online import StreamingGradientEstimator
 from repro.errors import EstimationError
 from repro.sensors.base import SampledSignal
@@ -89,3 +95,54 @@ class TestStreaming:
         est = StreamingGradientEstimator(dt=0.02, v0=10.0)
         with pytest.raises(EstimationError):
             est.run(np.zeros(5), np.zeros(4))
+
+
+class TestStreamingOfflineConsistency:
+    """Tick-by-tick push must reproduce the offline pipeline's track.
+
+    The streaming estimator is the on-phone deployment of the same filter
+    the offline pipeline runs per velocity source; feeding it one real
+    recording sample at a time has to land on the offline result.
+    """
+
+    @pytest.mark.parametrize("source", ["speedometer", "gps"])
+    def test_push_matches_offline_on_recording(self, hill_recording, source):
+        accel = hill_recording.accel_long
+        velocity = hill_recording.velocity_source(source)
+        t = accel.t
+        dt = float(np.median(np.diff(t)))
+        s = np.cumsum(np.full(len(t), 12.0 * dt))  # any arc length works
+
+        track = estimate_track(accel, velocity, s)
+
+        z = measurements_on_timebase(t, velocity)
+        first = np.flatnonzero(np.isfinite(z))
+        cfg = GradientEKFConfig()
+        est = StreamingGradientEstimator(
+            dt=dt,
+            measurement_std=cfg.std_for(velocity.name),
+            v0=float(z[first[0]]),
+        )
+        theta = np.empty(len(t))
+        variance = np.empty(len(t))
+        v = np.empty(len(t))
+        for i, a in enumerate(accel.values):
+            zi = None if math.isnan(z[i]) else float(z[i])
+            state = est.push(float(a), zi)
+            theta[i] = state.theta
+            variance[i] = state.theta_variance
+            v[i] = state.v
+
+        assert np.max(np.abs(theta - track.theta)) <= 1e-9
+        assert np.max(np.abs(variance - track.variance)) <= 1e-9
+        assert np.max(np.abs(v - track.v)) <= 1e-9
+
+    def test_sparse_gps_updates_match_offline(self, hill_recording):
+        # GPS fixes land at ~1 Hz on a 50 Hz timebase, so most ticks are
+        # prediction-only; streaming holds must mirror the offline NaN
+        # gating exactly.
+        accel = hill_recording.accel_long
+        velocity = hill_recording.velocity_source("gps")
+        z = measurements_on_timebase(accel.t, velocity)
+        updates = int(np.count_nonzero(np.isfinite(z)))
+        assert 0 < updates < len(accel.t) // 10

@@ -93,9 +93,41 @@ class TestConfig:
         with pytest.raises(EstimationError):
             GradientSystemConfig(velocity_sources=("odometer",))
 
+    def test_unknown_source_message_lists_options(self):
+        # The error must name the offender AND the valid choices, so a
+        # config typo is fixable from the message alone.
+        with pytest.raises(EstimationError, match="odometer") as excinfo:
+            GradientSystemConfig(velocity_sources=("odometer", "gps"))
+        message = str(excinfo.value)
+        for valid in ("gps", "speedometer", "accelerometer", "canbus"):
+            assert valid in message
+        assert "valid options" in message
+
     def test_empty_sources_rejected(self):
-        with pytest.raises(EstimationError):
+        with pytest.raises(EstimationError, match="valid options"):
             GradientSystemConfig(velocity_sources=())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EstimationError, match="batch.*scalar") as excinfo:
+            GradientSystemConfig(ekf_engine="gpu")
+        assert "gpu" in str(excinfo.value)
+
+    def test_engine_values_accepted(self):
+        for engine in ("batch", "scalar"):
+            assert GradientSystemConfig(ekf_engine=engine).ekf_engine == engine
+
+    def test_cache_geometry_wraps_road_map(self, hill_profile):
+        from repro.roads import CachedRoadProfile
+
+        on = GradientEstimationSystem(hill_profile)
+        assert isinstance(on.road_map, CachedRoadProfile)
+        # Idempotent: an already-cached profile is not double-wrapped.
+        rewrapped = GradientEstimationSystem(on.road_map)
+        assert rewrapped.road_map is on.road_map
+        off = GradientEstimationSystem(
+            hill_profile, config=GradientSystemConfig(cache_geometry=False)
+        )
+        assert off.road_map is hill_profile
 
     def test_duplicate_sources_rejected(self):
         with pytest.raises(EstimationError, match="duplicate.*gps"):

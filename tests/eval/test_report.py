@@ -4,6 +4,10 @@ import pytest
 
 from repro.eval.report import build_report, main
 
+# Each report build runs the full red-route experiment suite (~4s); keep
+# these out of the fast lane (`pytest -m "not slow"`).
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def report():

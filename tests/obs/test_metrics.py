@@ -101,3 +101,63 @@ class TestSnapshot:
         assert snap["gauges"]["g"] == 1.5
         assert snap["histograms"]["h"]["count"] == 1
         assert snap["histograms"]["h"]["mean"] == 2.0
+
+
+class TestMergeSnapshot:
+    def _worker(self, seed: int) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("ticks").inc(10 * (seed + 1))
+        reg.gauge("final").set(float(seed))
+        reg.histogram("inno").observe_many(np.arange(3) + seed)
+        return reg
+
+    def test_counters_add(self):
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self._worker(0).snapshot())
+        merged.merge_snapshot(self._worker(1).snapshot())
+        assert merged.counter("ticks").value == 30
+
+    def test_gauges_follow_merge_order(self):
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self._worker(2).snapshot())
+        merged.merge_snapshot(self._worker(5).snapshot())
+        assert merged.gauge("final").value == 5.0
+
+    def test_none_gauge_does_not_clobber(self):
+        merged = MetricsRegistry()
+        merged.gauge("final").set(3.0)
+        empty = MetricsRegistry()
+        empty.gauge("final")  # registered, never set -> snapshot None
+        merged.merge_snapshot(empty.snapshot())
+        assert merged.gauge("final").value == 3.0
+
+    def test_histograms_combine_exactly(self):
+        merged = MetricsRegistry()
+        for seed in (0, 1, 2):
+            merged.merge_snapshot(self._worker(seed).snapshot())
+        hist = merged.histogram("inno")
+        assert hist.count == 9
+        assert hist.min == 0.0
+        assert hist.max == 4.0
+        assert hist.total == sum(sum(np.arange(3) + s) for s in (0, 1, 2))
+        assert hist.last == 4.0  # last merged worker's last observation
+
+    def test_empty_histogram_snapshot_is_noop(self):
+        merged = MetricsRegistry()
+        empty = MetricsRegistry()
+        empty.histogram("inno")  # registered but unobserved
+        merged.merge_snapshot(empty.snapshot())
+        assert merged.histogram("inno").count == 0
+
+    def test_merging_workers_reproduces_serial_registry(self):
+        # The parallel-evaluation contract: per-worker registries merged in
+        # trip order must equal one registry fed the same trips serially.
+        serial = MetricsRegistry()
+        for seed in (0, 1, 2):
+            serial.counter("ticks").inc(10 * (seed + 1))
+            serial.gauge("final").set(float(seed))
+            serial.histogram("inno").observe_many(np.arange(3) + seed)
+        merged = MetricsRegistry()
+        for seed in (0, 1, 2):
+            merged.merge_snapshot(self._worker(seed).snapshot())
+        assert merged.snapshot() == serial.snapshot()

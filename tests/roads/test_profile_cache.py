@@ -1,0 +1,153 @@
+"""Cached road-profile queries: cached == uncached, plus LRU mechanics."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.roads import CachedRoadProfile, LRUCache, SectionSpec, build_profile
+
+QUERIES = ("grade_at", "elevation_at", "heading_at", "curvature_at", "position_at")
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return build_profile(
+        [
+            SectionSpec.from_degrees(300.0, 2.0, 2, 6.0),
+            SectionSpec.from_degrees(300.0, -1.0, 1, -4.0),
+        ],
+        name="cache-route",
+    )
+
+
+@pytest.fixture()
+def cached(profile):
+    return CachedRoadProfile(profile)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("method", QUERIES)
+    def test_array_queries_identical(self, profile, cached, method):
+        s = np.linspace(0.0, profile.length, 257)
+        want = getattr(profile, method)(s)
+        got = getattr(cached, method)(s)
+        assert np.array_equal(got, want)
+        # And the repeated (cache-hit) query too.
+        assert np.array_equal(getattr(cached, method)(s), want)
+
+    @pytest.mark.parametrize("method", QUERIES)
+    def test_scalar_queries_identical(self, profile, cached, method):
+        for s in (0.0, 123.4, profile.length):
+            want = getattr(profile, method)(s)
+            got = getattr(cached, method)(s)
+            if isinstance(want, np.ndarray):
+                assert np.array_equal(got, want)
+            else:
+                assert got == want
+                assert isinstance(got, float)
+
+    def test_road_turn_rate_identical(self, profile, cached):
+        s = np.linspace(0.0, profile.length, 64)
+        v = np.full(64, 13.0)
+        assert np.array_equal(
+            cached.road_turn_rate(s, v), profile.road_turn_rate(s, v)
+        )
+
+    def test_delegates_plain_attributes(self, profile, cached):
+        assert cached.length == profile.length
+        assert cached.name == profile.name
+        assert cached.lane_count_at(10.0) == profile.lane_count_at(10.0)
+        with pytest.raises(AttributeError):
+            cached.no_such_attribute
+
+
+class TestCacheMechanics:
+    def test_hit_miss_accounting(self, cached):
+        s = np.arange(50.0)
+        cached.grade_at(s)
+        info = cached.cache_info()
+        assert info == {**info, "hits": 0, "misses": 1}
+        cached.grade_at(s)
+        assert cached.cache_info()["hits"] == 1
+        # A different query array is a distinct key.
+        cached.grade_at(s + 1.0)
+        assert cached.cache_info()["misses"] == 2
+
+    def test_same_values_different_method_are_distinct_keys(self, cached):
+        s = np.arange(10.0)
+        cached.grade_at(s)
+        cached.elevation_at(s)
+        assert cached.cache_info()["misses"] == 2
+        assert cached.cache_info()["hits"] == 0
+
+    def test_cached_arrays_are_read_only(self, cached):
+        out = cached.grade_at(np.arange(20.0))
+        with pytest.raises(ValueError):
+            out[0] = 99.0
+
+    def test_eviction_respects_maxsize(self, profile):
+        small = CachedRoadProfile(profile, maxsize=2)
+        for k in range(4):
+            small.grade_at(np.arange(5.0) + k)
+        info = small.cache_info()
+        assert info["size"] == 2
+        assert info["evictions"] == 2
+        # The most recent keys survived.
+        small.grade_at(np.arange(5.0) + 3)
+        assert small.cache_info()["hits"] == 1
+
+    def test_invalidate_drops_entries(self, cached):
+        s = np.arange(30.0)
+        cached.grade_at(s)
+        cached.invalidate()
+        assert cached.cache_info()["size"] == 0
+        cached.grade_at(s)
+        assert cached.cache_info()["misses"] == 2
+
+    def test_pickle_roundtrip(self, profile, cached):
+        s = np.linspace(0.0, 100.0, 33)
+        want = cached.grade_at(s)
+        clone = pickle.loads(pickle.dumps(cached))
+        assert isinstance(clone, CachedRoadProfile)
+        assert np.array_equal(clone.grade_at(s), want)
+        # The clone starts with an empty cache of the same capacity.
+        assert clone.cache_info()["maxsize"] == cached.cache_info()["maxsize"]
+
+    def test_profile_property_and_convenience(self, profile):
+        view = profile.cached(maxsize=8)
+        assert isinstance(view, CachedRoadProfile)
+        assert view.profile is profile
+        assert view.cache_info()["maxsize"] == 8
+
+
+class TestLRUCache:
+    def test_compute_once_then_hit(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+        value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        again = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert value == again == 42
+        assert len(calls) == 1
+        assert cache.info()["hits"] == 1
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_concurrent_access_is_safe(self):
+        cache = LRUCache(maxsize=16)
+
+        def worker(base):
+            for i in range(200):
+                cache.get_or_compute(i % 8, lambda i=i: base + i)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        info = cache.info()
+        assert info["hits"] + info["misses"] == 800
+        assert len(cache) <= 16
