@@ -2,9 +2,15 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check test fast bench-smoke bench bench-batch
+.PHONY: check lint test fast bench-smoke bench bench-batch
 
-check: test bench-smoke
+check: lint test bench-smoke
+
+lint:
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src tests benchmarks \
+		|| { echo "ruff not installed; falling back to a syntax/compile check"; \
+		     python -m compileall -q src tests benchmarks; }
 
 test:
 	$(PYTEST) -x -q

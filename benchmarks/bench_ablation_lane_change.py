@@ -27,7 +27,7 @@ from conftest import print_block
 from dataclasses import replace
 
 from repro.constants import KMH
-from repro.eval.runner import RunnerConfig, collect_recordings, make_system
+from repro.eval.runner import RunnerConfig, make_system
 from repro.eval.tables import render_table
 from repro.roads import SectionSpec, build_profile
 from repro.roads.reference import survey_reference_profile

@@ -6,11 +6,9 @@ spreads the damage across sources); the altitude-EKF baseline rides the
 barometer and degrades faster.
 """
 
-import numpy as np
 import pytest
 
 from conftest import print_block
-from dataclasses import replace
 
 from repro.eval.runner import RunnerConfig, evaluate_methods
 from repro.eval.tables import render_table

@@ -9,7 +9,6 @@
    — precision/recall of the detector across the evaluation trips.
 """
 
-import numpy as np
 import pytest
 
 from conftest import print_block

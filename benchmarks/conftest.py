@@ -21,7 +21,6 @@ import json
 import os
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.datasets.charlottesville import city_network, red_route

@@ -30,20 +30,25 @@ from .baselines import (
     estimate_gradient_barometer,
     estimate_gradient_ekf_baseline,
 )
+from .config import SerializableConfig
 from .core import (
     EstimationResult,
     ExtendedKalmanFilter,
     GradientEKFConfig,
     GradientEstimationSystem,
+    GradientFilterCore,
     GradientSystemConfig,
     GradientTrack,
     LaneChangeDetector,
     LaneChangeDetectorConfig,
     LaneChangeEvent,
     LaneChangeThresholds,
+    PipelineContext,
+    Stage,
     estimate_track,
     fuse_estimates,
     fuse_tracks,
+    register_stage,
 )
 from .datasets import (
     calibrated_thresholds,
@@ -83,15 +88,20 @@ __all__ = [
     "ExtendedKalmanFilter",
     "GradientEKFConfig",
     "GradientEstimationSystem",
+    "GradientFilterCore",
     "GradientSystemConfig",
     "GradientTrack",
     "LaneChangeDetector",
     "LaneChangeDetectorConfig",
     "LaneChangeEvent",
     "LaneChangeThresholds",
+    "PipelineContext",
+    "SerializableConfig",
+    "Stage",
     "estimate_track",
     "fuse_estimates",
     "fuse_tracks",
+    "register_stage",
     "calibrated_thresholds",
     "city_network",
     "red_route",

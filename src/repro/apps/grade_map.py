@@ -11,7 +11,7 @@ and round-trips through JSON for persistence.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable
 
 import numpy as np

@@ -14,10 +14,11 @@ terramechanics paper would use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import SerializableConfig
 from ..core.track import GradientTrack
 from ..errors import TrainingError
 from ..sensors.phone import PhoneRecording
@@ -82,7 +83,7 @@ class MLP:
 
 
 @dataclass
-class ANNBaselineConfig:
+class ANNBaselineConfig(SerializableConfig):
     """Architecture and training budget of the ANN baseline."""
 
     hidden: tuple[int, ...] = (16, 16)

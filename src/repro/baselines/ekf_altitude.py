@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..constants import GRAVITY
+from ..config import SerializableConfig
 from ..core.track import GradientTrack
 from ..errors import EstimationError
 from ..sensors.phone import PhoneRecording
@@ -35,7 +35,7 @@ __all__ = ["AltitudeEKFConfig", "estimate_gradient_ekf_baseline"]
 
 
 @dataclass(frozen=True)
-class AltitudeEKFConfig:
+class AltitudeEKFConfig(SerializableConfig):
     """Tuning of the [7]-style baseline filter."""
 
     speed_noise_std: float = 0.20
@@ -97,7 +97,6 @@ def estimate_gradient_ekf_baseline(
     drag = vehicle.drag_term
     r_wheel = vehicle.wheel_radius
     beta = vehicle.beta
-    g = GRAVITY
 
     # State and covariance.
     x = np.array([float(v_meas[0]), float(z_meas[0]), 0.0])

@@ -1,0 +1,164 @@
+"""Serializable configuration layer for every tuning dataclass.
+
+Production deployments need configs to travel as *data*: workers rebuild
+estimation systems from JSON specs, sweeps are defined in files, and a
+replayed run must reconstruct the exact configuration that produced it.
+This module gives every config dataclass a validated ``to_dict`` /
+``from_dict`` pair (plus JSON convenience wrappers) through the
+:class:`SerializableConfig` mixin:
+
+* nested config dataclasses (the detector and EKF configs inside
+  :class:`~repro.core.pipeline.GradientSystemConfig`, the thresholds inside
+  the detector config, ...) round-trip recursively as one document;
+* tuples serialize as JSON lists and are restored as tuples, so the
+  round-tripped config compares equal to the original;
+* unknown keys are rejected with an error naming the valid keys — a typo in
+  a spec file fails loudly instead of silently falling back to a default;
+* missing keys fall back to the dataclass defaults, so partial specs stay
+  valid as new tuning knobs are added.
+
+The mixin is deliberately thin: each class's own ``__post_init__``
+validation still runs on reconstruction, so a spec that decodes cleanly is
+also semantically valid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import types
+import typing
+from typing import Any
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "SerializableConfig",
+    "config_to_dict",
+    "config_from_dict",
+    "config_to_json",
+    "config_from_json",
+]
+
+
+def config_to_dict(cfg: Any) -> dict:
+    """Recursively convert a config dataclass instance to plain data.
+
+    Nested dataclasses become dicts, tuples become lists; the result is
+    JSON-serializable for every config class in the library.
+    """
+    if not dataclasses.is_dataclass(cfg) or isinstance(cfg, type):
+        raise ConfigurationError(
+            f"config_to_dict needs a dataclass instance, got {cfg!r}"
+        )
+    return {f.name: _to_data(getattr(cfg, f.name)) for f in dataclasses.fields(cfg)}
+
+
+def _to_data(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return config_to_dict(value)
+    if isinstance(value, (tuple, list)):
+        return [_to_data(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _to_data(v) for k, v in value.items()}
+    return value
+
+
+def config_from_dict(cls: type, data: Any) -> Any:
+    """Rebuild ``cls`` from :func:`config_to_dict` output.
+
+    Unknown keys raise :class:`~repro.errors.ConfigurationError` naming the
+    valid keys; missing keys take the dataclass defaults; nested configs are
+    rebuilt recursively from their field type annotations.
+    """
+    if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+        raise ConfigurationError(f"config_from_dict needs a dataclass type, got {cls!r}")
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{cls.__name__} spec must be a mapping, got {type(data).__name__}"
+        )
+    valid = [f.name for f in dataclasses.fields(cls)]
+    unknown = sorted(set(data) - set(valid))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} for {cls.__name__}; valid keys are {valid}"
+        )
+    hints = typing.get_type_hints(cls)
+    kwargs = {
+        name: _from_data(hints.get(name, Any), value, f"{cls.__name__}.{name}")
+        for name, value in data.items()
+    }
+    return cls(**kwargs)
+
+
+def _from_data(tp: Any, value: Any, where: str) -> Any:
+    origin = typing.get_origin(tp)
+    if origin in (typing.Union, types.UnionType):
+        args = typing.get_args(tp)
+        if value is None:
+            if type(None) in args:
+                return None
+            raise ConfigurationError(f"{where} must not be null")
+        inner = [a for a in args if a is not type(None)]
+        # Library configs only use `X | None`; decode against the X arm.
+        return _from_data(inner[0], value, where)
+    if isinstance(tp, type) and dataclasses.is_dataclass(tp):
+        if isinstance(value, tp):
+            return value  # already constructed (programmatic spec)
+        return config_from_dict(tp, value)
+    if origin is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise ConfigurationError(
+                f"{where} must be a list, got {type(value).__name__}"
+            )
+        args = typing.get_args(tp)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_from_data(args[0], v, where) for v in value)
+        return tuple(value)
+    if tp is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"{where} must be a number, got {type(value).__name__}"
+            )
+        return float(value)
+    if tp in (int, bool, str) and not isinstance(value, tp):
+        raise ConfigurationError(
+            f"{where} must be {tp.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def config_to_json(cfg: Any, indent: int | None = None) -> str:
+    """Serialize a config dataclass to a JSON document."""
+    return json.dumps(config_to_dict(cfg), indent=indent, sort_keys=True)
+
+
+def config_from_json(cls: type, text: str) -> Any:
+    """Rebuild ``cls`` from a JSON document produced by :func:`config_to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON for {cls.__name__}: {exc}") from exc
+    return config_from_dict(cls, data)
+
+
+class SerializableConfig:
+    """Mixin adding the dict/JSON round-trip API to a config dataclass."""
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-able) form of this config, nested configs included."""
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SerializableConfig":
+        """Rebuild from :meth:`to_dict` output; unknown keys are rejected."""
+        return config_from_dict(cls, data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON document form of this config."""
+        return config_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SerializableConfig":
+        """Rebuild from a :meth:`to_json` document."""
+        return config_from_json(cls, text)

@@ -6,9 +6,23 @@ from .ekf import EKFModel, ExtendedKalmanFilter
 from .online import StreamingGradientEstimator, StreamState
 from .gradient_ekf import (
     GradientEKFConfig,
+    GradientFilterCore,
     estimate_track,
     estimate_track_generic,
     measurements_on_timebase,
+)
+from .stages import (
+    DEFAULT_STAGES,
+    EKF_ENGINES,
+    STAGE_REGISTRY,
+    AlignmentStage,
+    FusionStage,
+    LaneChangeStage,
+    PipelineContext,
+    Stage,
+    TrackEstimationStage,
+    build_stages,
+    register_stage,
 )
 from .lane_change import (
     PAPER_THRESHOLDS,
@@ -37,10 +51,22 @@ __all__ = [
     "StreamingGradientEstimator",
     "StreamState",
     "GradientEKFConfig",
+    "GradientFilterCore",
     "estimate_track",
     "estimate_tracks_batch",
     "estimate_track_generic",
     "measurements_on_timebase",
+    "DEFAULT_STAGES",
+    "EKF_ENGINES",
+    "STAGE_REGISTRY",
+    "AlignmentStage",
+    "FusionStage",
+    "LaneChangeStage",
+    "PipelineContext",
+    "Stage",
+    "TrackEstimationStage",
+    "build_stages",
+    "register_stage",
     "PAPER_THRESHOLDS",
     "LaneChangeDetector",
     "LaneChangeDetectorConfig",

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import SerializableConfig
 from ..constants import GRAVITY
 from ..errors import EstimationError
 from ..sensors.base import SampledSignal
@@ -45,7 +46,7 @@ __all__ = ["BiasEKFConfig", "estimate_track_bias_augmented"]
 
 
 @dataclass(frozen=True)
-class BiasEKFConfig:
+class BiasEKFConfig(SerializableConfig):
     """Tuning of the bias-observable hybrid filter.
 
     ``bias_rate_std`` [m/s^2 per sqrt(s)] models slow bias evolution

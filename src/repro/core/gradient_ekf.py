@@ -11,6 +11,12 @@ engines exist:
 * :func:`estimate_track_generic` runs the same model through
   :class:`~repro.core.ekf.ExtendedKalmanFilter`. A unit test pins both to
   the same output.
+
+The single-tick predict/update arithmetic lives in one place —
+:class:`GradientFilterCore` — shared by the offline scalar engine here and
+the on-phone streaming path
+(:class:`~repro.core.online.StreamingGradientEstimator`), so the two can
+never drift apart numerically.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..config import SerializableConfig
 from ..constants import GRAVITY
 from ..errors import EstimationError
 from ..obs import Telemetry
@@ -29,7 +36,13 @@ from .ekf import EKFModel, ExtendedKalmanFilter
 from .state_space import GradientStateSpace
 from .track import GradientTrack
 
-__all__ = ["GradientEKFConfig", "estimate_track", "estimate_track_generic", "measurements_on_timebase"]
+__all__ = [
+    "GradientEKFConfig",
+    "GradientFilterCore",
+    "estimate_track",
+    "estimate_track_generic",
+    "measurements_on_timebase",
+]
 
 #: Default measurement noise std [m/s] per velocity source.
 _DEFAULT_MEASUREMENT_STD = {
@@ -42,7 +55,7 @@ _FALLBACK_MEASUREMENT_STD = 0.5
 
 
 @dataclass
-class GradientEKFConfig:
+class GradientEKFConfig(SerializableConfig):
     """Tuning of the per-track gradient EKF.
 
     ``smooth=True`` runs a Rauch-Tung-Striebel backward pass after the
@@ -65,6 +78,135 @@ class GradientEKFConfig:
         if source_name in self.measurement_std:
             return float(self.measurement_std[source_name])
         return _DEFAULT_MEASUREMENT_STD.get(source_name, _FALLBACK_MEASUREMENT_STD)
+
+
+class GradientFilterCore:
+    """Single-tick predict/update of the ``[v, theta]`` gradient EKF.
+
+    This is the *one* implementation of the paper's per-track filter math
+    (Eq 4/5 prediction, H = [1, 0] velocity update). The offline scalar
+    engine (:func:`estimate_track`) drives it tick by tick over a whole
+    recording; the streaming estimator
+    (:class:`~repro.core.online.StreamingGradientEstimator`) drives it one
+    sample at a time on the phone. Both therefore produce bit-identical
+    state sequences by construction.
+
+    After :meth:`predict`, the attributes ``v``/``theta``/``p11``/``p12``/
+    ``p22`` hold the predicted state and covariance and ``b``/``c``/``d``
+    hold this tick's Jacobian entries (``F = [[1, b], [c, d]]``) — exactly
+    the history the RTS backward pass needs. :meth:`update` folds in one
+    velocity measurement and returns the innovation.
+    """
+
+    __slots__ = (
+        "dt", "specific_force", "drift_coeff", "q_v", "q_t", "r", "theta_clamp",
+        "v", "theta", "p11", "p12", "p22", "b", "c", "d",
+    )
+
+    def __init__(
+        self,
+        dt: float,
+        vehicle: VehicleParams | None = None,
+        config: GradientEKFConfig | None = None,
+        measurement_std: float | None = None,
+        v0: float = 0.0,
+    ) -> None:
+        if dt <= 0.0:
+            raise EstimationError("dt must be positive")
+        vehicle = vehicle or DEFAULT_VEHICLE
+        cfg = config or GradientEKFConfig()
+        self.dt = float(dt)
+        self.specific_force = cfg.process == "specific_force"
+        self.drift_coeff = vehicle.drag_term / vehicle.weight
+        self.q_v = (cfg.accel_noise_std * dt) ** 2
+        self.q_t = cfg.grade_rate_std**2 * dt
+        std = _FALLBACK_MEASUREMENT_STD if measurement_std is None else measurement_std
+        self.r = std**2
+        self.theta_clamp = math.pi / 3.0
+        self.v = float(v0)
+        self.theta = 0.0
+        self.p11 = cfg.initial_speed_std**2
+        self.p12 = 0.0
+        self.p22 = cfg.initial_grade_std**2
+        self.b = 0.0
+        self.c = 0.0
+        self.d = 1.0
+
+    def predict(self, a_meas: float) -> None:
+        """Advance one tick on an accelerometer sample (Eq 5 + Eq 4 drift)."""
+        dt = self.dt
+        v = self.v
+        theta = self.theta
+        g = GRAVITY
+        sin_t = math.sin(theta)
+        cos_t = math.cos(theta)
+        if cos_t < 1e-6:
+            cos_t = 1e-6
+        drift_coeff = self.drift_coeff
+
+        # Jacobian F = [[1, b], [c, d]].
+        if self.specific_force:
+            a_long = a_meas - g * sin_t
+            b = -g * cos_t * dt
+            ddrift_dtheta = drift_coeff * v * (-g + a_long * sin_t / cos_t**2)
+        else:
+            a_long = a_meas
+            b = 0.0
+            ddrift_dtheta = drift_coeff * v * a_long * sin_t / cos_t**2
+        c = drift_coeff * a_long / cos_t * dt
+        d = 1.0 + ddrift_dtheta * dt
+
+        # State prediction.
+        drift = drift_coeff * v * a_long / cos_t
+        v = v + a_long * dt
+        if v < 0.0:
+            v = 0.0
+        theta = theta + drift * dt
+        clamp = self.theta_clamp
+        if theta > clamp:
+            theta = clamp
+        elif theta < -clamp:
+            theta = -clamp
+
+        # Covariance prediction P = F P F^T + Q.
+        p11, p12, p22 = self.p11, self.p12, self.p22
+        np11 = p11 + b * p12 + b * (p12 + b * p22) + self.q_v
+        np12 = c * p11 + (d + b * c) * p12 + b * d * p22
+        np22 = c * c * p11 + 2.0 * c * d * p12 + d * d * p22 + self.q_t
+
+        self.v = v
+        self.theta = theta
+        self.p11 = np11
+        self.p12 = np12
+        self.p22 = np22
+        self.b = b
+        self.c = c
+        self.d = d
+
+    def update(self, z: float) -> float:
+        """Fuse one velocity measurement (H = [1, 0]); returns the innovation."""
+        p11, p12 = self.p11, self.p12
+        s_inno = p11 + self.r
+        k1 = p11 / s_inno
+        k2 = p12 / s_inno
+        inno = z - self.v
+        self.v += k1 * inno
+        self.theta += k2 * inno
+        one_m = 1.0 - k1
+        self.p22 = self.p22 - k2 * p12
+        self.p12 = one_m * p12
+        self.p11 = one_m * p11
+        return inno
+
+    def step(self, a_meas: float, z: float | None = None) -> float | None:
+        """Predict, then update when a measurement arrived this tick.
+
+        Returns the innovation, or ``None`` on a prediction-only tick.
+        """
+        self.predict(a_meas)
+        if z is None or z != z:  # None or NaN: no measurement this tick
+            return None
+        return self.update(z)
 
 
 def measurements_on_timebase(
@@ -131,22 +273,14 @@ def estimate_track(
         tel.count("ekf_ticks", n)
         tel.count("ekf_updates", int(np.count_nonzero(np.isfinite(z))))
     innovations: list[float] = []
-    r = cfg.std_for(velocity.name) ** 2
-    q_v = (cfg.accel_noise_std * dt) ** 2
-    q_t = cfg.grade_rate_std**2 * dt
-
-    specific_force = cfg.process == "specific_force"
-    drift_coeff = vehicle.drag_term / vehicle.weight
-    g = GRAVITY
-    theta_clamp = math.pi / 3.0
+    r_std = cfg.std_for(velocity.name)
 
     # Initial state: first available measurement, flat road prior.
     first = np.flatnonzero(np.isfinite(z))
-    v_state = float(z[first[0]]) if len(first) else float(np.nanmax([accel.values[0], 0.0]))
-    theta = 0.0
-    p11 = cfg.initial_speed_std**2
-    p12 = 0.0
-    p22 = cfg.initial_grade_std**2
+    v0 = float(z[first[0]]) if len(first) else float(np.nanmax([accel.values[0], 0.0]))
+    core = GradientFilterCore(
+        dt, vehicle=vehicle, config=cfg, measurement_std=r_std, v0=v0
+    )
 
     a_in = accel.values
     theta_out = np.empty(n)
@@ -164,75 +298,33 @@ def estimate_track(
         hist_f = np.empty((n, 3))  # (b, c, d); F = [[1, b], [c, d]]
 
     for i in range(n):
-        a_meas = a_in[i]
-        sin_t = math.sin(theta)
-        cos_t = math.cos(theta)
-        if cos_t < 1e-6:
-            cos_t = 1e-6
-        a_long = a_meas - g * sin_t if specific_force else a_meas
-
-        # Jacobian F = [[1, b], [c, d]]
-        if specific_force:
-            b = -g * cos_t * dt
-            ddrift_dtheta = drift_coeff * v_state * (-g + a_long * sin_t / cos_t**2)
-        else:
-            b = 0.0
-            ddrift_dtheta = drift_coeff * v_state * a_long * sin_t / cos_t**2
-        c = drift_coeff * a_long / cos_t * dt
-        d = 1.0 + ddrift_dtheta * dt
-
-        # State prediction (Eq 5 + Eq 4 drift).
-        drift = drift_coeff * v_state * a_long / cos_t
-        v_state = v_state + a_long * dt
-        if v_state < 0.0:
-            v_state = 0.0
-        theta = theta + drift * dt
-        if theta > theta_clamp:
-            theta = theta_clamp
-        elif theta < -theta_clamp:
-            theta = -theta_clamp
-
-        # Covariance prediction P = F P F^T + Q.
-        np11 = p11 + b * p12 + b * (p12 + b * p22) + q_v
-        np12 = c * p11 + (d + b * c) * p12 + b * d * p22
-        np22 = c * c * p11 + 2.0 * c * d * p12 + d * d * p22 + q_t
-        p11, p12, p22 = np11, np12, np22
+        core.predict(a_in[i])
 
         if do_smooth:
-            hist_xp[i, 0] = v_state
-            hist_xp[i, 1] = theta
-            hist_pp[i, 0] = p11
-            hist_pp[i, 1] = p12
-            hist_pp[i, 2] = p22
-            hist_f[i, 0] = b
-            hist_f[i, 1] = c
-            hist_f[i, 2] = d
+            hist_xp[i, 0] = core.v
+            hist_xp[i, 1] = core.theta
+            hist_pp[i, 0] = core.p11
+            hist_pp[i, 1] = core.p12
+            hist_pp[i, 2] = core.p22
+            hist_f[i, 0] = core.b
+            hist_f[i, 1] = core.c
+            hist_f[i, 2] = core.d
 
-        # Measurement update with H = [1, 0].
         zi = z[i]
         if zi == zi:  # not NaN
-            s_inno = p11 + r
-            k1 = p11 / s_inno
-            k2 = p12 / s_inno
-            inno = zi - v_state
+            inno = core.update(zi)
             if tel is not None:
                 innovations.append(abs(inno))
-            v_state += k1 * inno
-            theta += k2 * inno
-            one_m = 1.0 - k1
-            p22 = p22 - k2 * p12
-            p12 = one_m * p12
-            p11 = one_m * p11
 
-        theta_out[i] = theta
-        var_out[i] = p22
-        v_out[i] = v_state
+        theta_out[i] = core.theta
+        var_out[i] = core.p22
+        v_out[i] = core.v
         if do_smooth:
-            hist_xf[i, 0] = v_state
-            hist_xf[i, 1] = theta
-            hist_pf[i, 0] = p11
-            hist_pf[i, 1] = p12
-            hist_pf[i, 2] = p22
+            hist_xf[i, 0] = core.v
+            hist_xf[i, 1] = core.theta
+            hist_pf[i, 0] = core.p11
+            hist_pf[i, 1] = core.p12
+            hist_pf[i, 2] = core.p22
 
     if do_smooth:
         _rts_backward(hist_xp, hist_pp, hist_xf, hist_pf, hist_f, theta_out, var_out, v_out)
@@ -251,7 +343,7 @@ def estimate_track(
         v=v_out,
         meta={
             "process": cfg.process,
-            "measurement_std": math.sqrt(r),
+            "measurement_std": r_std,
             "smoothed": cfg.smooth,
         },
     )

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...config import SerializableConfig
 from ...constants import (
     BUMP_THRESHOLD_COEFF,
     DELTA_MIN_RAD_S,
@@ -63,7 +64,7 @@ class LaneChangeEvent:
 
 
 @dataclass(frozen=True)
-class LaneChangeDetectorConfig:
+class LaneChangeDetectorConfig(SerializableConfig):
     """Detector tuning.
 
     Attributes

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...config import SerializableConfig
 from ...constants import BUMP_THRESHOLD_COEFF
 from ...errors import EstimationError
 
@@ -71,7 +72,7 @@ class ManeuverFeatures:
 
 
 @dataclass(frozen=True)
-class LaneChangeThresholds:
+class LaneChangeThresholds(SerializableConfig):
     """Detection thresholds (the minima row of Table I).
 
     ``delta`` [rad/s] and ``duration`` [s] gate bump acceptance; the

@@ -2,17 +2,20 @@
 
 The batch pipeline (:class:`GradientEstimationSystem`) processes whole
 recordings; a phone app instead consumes samples as they arrive. This
-module wraps the same state-space model and tuning in an incremental API:
+module wraps the shared single-step filter core
+(:class:`~repro.core.gradient_ekf.GradientFilterCore`) in an incremental
+API:
 
     est = StreamingGradientEstimator(dt=0.02)
     for each tick:
         state = est.push(accel_sample, v_meas_or_None)
         state.theta        # current gradient estimate [rad]
 
-The estimator is algebraically the scalar forward filter of
-:func:`repro.core.gradient_ekf.estimate_track` — a unit test pins the two
-to identical outputs — with a ring of recent history for light-weight
-introspection.
+Because the predict/update math lives only in ``GradientFilterCore`` —
+the same object :func:`repro.core.gradient_ekf.estimate_track` drives
+offline — the streaming path is bit-identical to the offline scalar
+engine by construction; a unit test still pins the two to identical
+outputs on real recordings.
 """
 
 from __future__ import annotations
@@ -22,11 +25,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..constants import GRAVITY
 from ..errors import EstimationError
 from ..obs import Telemetry
-from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
-from .gradient_ekf import GradientEKFConfig
+from ..vehicle.params import VehicleParams
+from .gradient_ekf import GradientEKFConfig, GradientFilterCore
 
 __all__ = ["StreamState", "StreamingGradientEstimator"]
 
@@ -59,22 +61,16 @@ class StreamingGradientEstimator:
         cfg = config or GradientEKFConfig()
         if cfg.smooth:
             raise EstimationError("streaming estimation cannot smooth backward")
-        vehicle = vehicle or DEFAULT_VEHICLE
         self.dt = dt
-        self._specific_force = cfg.process == "specific_force"
-        self._drift_coeff = vehicle.drag_term / vehicle.weight
-        self._q_v = (cfg.accel_noise_std * dt) ** 2
-        self._q_t = cfg.grade_rate_std**2 * dt
-        self._r = measurement_std**2
-        self._clamp = math.pi / 3.0
-
-        self._t = 0.0
-        self._v = 0.0 if v0 is None else float(v0)
+        self._core = GradientFilterCore(
+            dt,
+            vehicle=vehicle,
+            config=cfg,
+            measurement_std=measurement_std,
+            v0=0.0 if v0 is None else float(v0),
+        )
         self._need_init = v0 is None
-        self._theta = 0.0
-        self._p11 = cfg.initial_speed_std**2
-        self._p12 = 0.0
-        self._p22 = cfg.initial_grade_std**2
+        self._t = 0.0
         self._ticks = 0
 
         # Telemetry: counter objects are resolved once here so the per-tick
@@ -97,74 +93,40 @@ class StreamingGradientEstimator:
     @property
     def state(self) -> StreamState:
         """The latest snapshot."""
+        core = self._core
         return StreamState(
             t=self._t,
-            v=self._v,
-            theta=self._theta,
-            theta_variance=self._p22,
+            v=core.v,
+            theta=core.theta,
+            theta_variance=core.p22,
             updated=False,
         )
 
     def push(self, accel: float, v_meas: float | None = None) -> StreamState:
         """Advance one tick with an accelerometer sample and, when a
         velocity measurement arrived this tick, fuse it."""
+        core = self._core
         if self._need_init:
             # Bootstrap the velocity state from the first measurement.
             if v_meas is not None:
-                self._v = float(v_meas)
+                core.v = float(v_meas)
                 self._need_init = False
-        g = GRAVITY
-        dt = self.dt
-        sin_t = math.sin(self._theta)
-        cos_t = max(math.cos(self._theta), 1e-6)
-        a_long = accel - g * sin_t if self._specific_force else accel
 
-        if self._specific_force:
-            b = -g * cos_t * dt
-            ddrift_dtheta = self._drift_coeff * self._v * (
-                -g + a_long * sin_t / cos_t**2
-            )
-        else:
-            b = 0.0
-            ddrift_dtheta = self._drift_coeff * self._v * a_long * sin_t / cos_t**2
-        c = self._drift_coeff * a_long / cos_t * dt
-        d = 1.0 + ddrift_dtheta * dt
-
-        drift = self._drift_coeff * self._v * a_long / cos_t
-        self._v = max(self._v + a_long * dt, 0.0)
-        self._theta = float(
-            np.clip(self._theta + drift * dt, -self._clamp, self._clamp)
-        )
-
-        p11, p12, p22 = self._p11, self._p12, self._p22
-        np11 = p11 + b * p12 + b * (p12 + b * p22) + self._q_v
-        np12 = c * p11 + (d + b * c) * p12 + b * d * p22
-        np22 = c * c * p11 + 2.0 * c * d * p12 + d * d * p22 + self._q_t
-        self._p11, self._p12, self._p22 = np11, np12, np22
-
+        core.predict(accel)
         updated = False
         if v_meas is not None and not self._need_init:
-            s_inno = self._p11 + self._r
-            k1 = self._p11 / s_inno
-            k2 = self._p12 / s_inno
-            inno = float(v_meas) - self._v
-            self._v += k1 * inno
-            self._theta += k2 * inno
-            one_m = 1.0 - k1
-            self._p22 = self._p22 - k2 * self._p12
-            self._p12 = one_m * self._p12
-            self._p11 = one_m * self._p11
+            core.update(float(v_meas))
             updated = True
 
-        self._t += dt
+        self._t += self.dt
         self._ticks += 1
         if self._obs is not None:
             self._record_tick(updated)
         return StreamState(
             t=self._t,
-            v=self._v,
-            theta=self._theta,
-            theta_variance=self._p22,
+            v=core.v,
+            theta=core.theta,
+            theta_variance=core.p22,
             updated=updated,
         )
 
@@ -173,8 +135,9 @@ class StreamingGradientEstimator:
         self._c_ticks.inc()
         if updated:
             self._c_updates.inc()
-        theta = self._theta
-        v = self._v
+        core = self._core
+        theta = core.theta
+        v = core.v
         if not (math.isfinite(theta) and math.isfinite(v)):
             self._c_nonfinite.inc()
             if not self._diverged:
@@ -186,7 +149,7 @@ class StreamingGradientEstimator:
                     theta=theta,
                     v=v,
                 )
-        elif abs(theta) >= self._clamp:
+        elif abs(theta) >= core.theta_clamp:
             self._c_clamped.inc()
             if not self._diverged:
                 self._diverged = True

@@ -1,6 +1,7 @@
 """The complete road-gradient estimation system (OPS, paper Fig 1).
 
-``GradientEstimationSystem`` wires the four stages together:
+``GradientEstimationSystem`` runs the four paper stages as composable
+stage objects (see :mod:`repro.core.stages`):
 
 1. **data collection** — the smartphone coordinate alignment turns the gyro
    into a steering-rate profile and map-matches GPS to route positions;
@@ -9,6 +10,12 @@
 3. **road gradient estimation** — one EKF gradient track per velocity
    source (GPS / speedometer / accelerometer / CAN-bus);
 4. **track fusion** — Eq 6 convex combination onto a position grid.
+
+The stage list itself lives in ``GradientSystemConfig.stages`` — plain
+registered names, so an ablated or extended pipeline is just a different
+config, and the whole config (stages included) round-trips through
+JSON via :meth:`~repro.config.SerializableConfig.to_dict` /
+:meth:`~repro.config.SerializableConfig.from_dict`.
 
 Multi-vehicle (cloud) fusion reuses the same Eq 6 on the per-trip fused
 tracks: :func:`fuse_estimates`.
@@ -20,26 +27,39 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..config import SerializableConfig
 from ..errors import EstimationError
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..roads.cache import CachedRoadProfile
 from ..roads.profile import RoadProfile
 from ..sensors.alignment import AlignedSteering, CoordinateAlignment
-from ..sensors.base import SampledSignal
 from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording
 from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
-from .batch import estimate_tracks_batch
-from .gradient_ekf import GradientEKFConfig, estimate_track
-from .lane_change.correction import correct_velocity_signal
+from .gradient_ekf import GradientEKFConfig
 from .lane_change.detector import LaneChangeDetector, LaneChangeDetectorConfig, LaneChangeEvent
+from .stages import (
+    DEFAULT_STAGES,
+    EKF_ENGINES,
+    PipelineContext,
+    Stage,
+    build_stages,
+    fusion_grid,
+    validate_stage_names,
+)
 from .track import GradientTrack
 from .track_fusion import fuse_tracks
 
-__all__ = ["GradientSystemConfig", "EstimationResult", "GradientEstimationSystem", "fuse_estimates"]
+__all__ = [
+    "EKF_ENGINES",
+    "GradientSystemConfig",
+    "EstimationResult",
+    "GradientEstimationSystem",
+    "fuse_estimates",
+]
 
 
 @dataclass(frozen=True)
-class GradientSystemConfig:
+class GradientSystemConfig(SerializableConfig):
     """End-to-end system configuration.
 
     Attributes
@@ -60,6 +80,11 @@ class GradientSystemConfig:
         Wrap the road map in a :class:`~repro.roads.cache.CachedRoadProfile`
         so repeated geometry queries (curvature for ``w_road``, arc-length
         interpolation) across trips hit an LRU instead of re-interpolating.
+    stages:
+        The pipeline as an ordered tuple of registered stage names
+        (:data:`~repro.core.stages.STAGE_REGISTRY`). Defaults to the
+        paper's four-stage dataflow; ablate or extend by listing a
+        different sequence.
     """
 
     ekf: GradientEKFConfig = field(default_factory=GradientEKFConfig)
@@ -69,6 +94,7 @@ class GradientSystemConfig:
     fusion_grid_spacing: float = 5.0
     ekf_engine: str = "batch"
     cache_geometry: bool = True
+    stages: tuple[str, ...] = DEFAULT_STAGES
 
     def __post_init__(self) -> None:
         unknown = [s for s in self.velocity_sources if s not in VELOCITY_SOURCES]
@@ -90,11 +116,12 @@ class GradientSystemConfig:
             raise EstimationError(f"duplicate velocity sources: {dupes}")
         if self.fusion_grid_spacing <= 0.0:
             raise EstimationError("fusion grid spacing must be positive")
-        if self.ekf_engine not in ("batch", "scalar"):
+        if self.ekf_engine not in EKF_ENGINES:
             raise EstimationError(
                 f"unknown ekf_engine {self.ekf_engine!r}; "
-                f"valid options are ['batch', 'scalar']"
+                f"valid options are {list(EKF_ENGINES)}"
             )
+        validate_stage_names(self.stages)
 
 
 @dataclass
@@ -123,6 +150,11 @@ class EstimationResult:
 class GradientEstimationSystem:
     """OPS: the paper's proposed system, end to end.
 
+    A thin runner over the configured stage objects: construction resolves
+    ``config.stages`` against the stage registry, and :meth:`estimate`
+    threads a :class:`~repro.core.stages.PipelineContext` through them,
+    one telemetry span per stage.
+
     Parameters
     ----------
     road_map:
@@ -145,90 +177,74 @@ class GradientEstimationSystem:
         self.road_map = road_map
         self.vehicle = vehicle or DEFAULT_VEHICLE
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self._alignment = CoordinateAlignment(road_map, telemetry=self.telemetry)
-        self._detector = LaneChangeDetector(self.config.detector, telemetry=self.telemetry)
+        self.alignment = CoordinateAlignment(road_map, telemetry=self.telemetry)
+        self.detector = LaneChangeDetector(self.config.detector, telemetry=self.telemetry)
+        self.stages: list[Stage] = build_stages(self.config.stages, self)
+
+    @classmethod
+    def from_spec(
+        cls,
+        road_map: RoadProfile,
+        spec: dict,
+        vehicle: VehicleParams | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> "GradientEstimationSystem":
+        """Build a system from a serialized config dict (worker-side path)."""
+        return cls(
+            road_map,
+            vehicle=vehicle,
+            config=GradientSystemConfig.from_dict(spec),
+            telemetry=telemetry,
+        )
 
     def estimate(self, recording: PhoneRecording) -> EstimationResult:
         """Estimate the road-gradient profile from one phone recording."""
         cfg = self.config
         tel = self.telemetry
 
+        ctx = PipelineContext(
+            recording=recording,
+            config=cfg,
+            road_map=self.road_map,
+            vehicle=self.vehicle,
+            telemetry=tel,
+        )
         with tel.span("estimate", n_sources=len(cfg.velocity_sources)):
-            # Stage 1: coordinate alignment (Fig 2).
-            with tel.span("alignment"):
-                aligned = self._alignment.align(
-                    recording.gyro, recording.speedometer, recording.gps
-                )
-
-            # Stage 2: lane-change detection + Eq 2 correction.
-            with tel.span("lane_change") as lc_span:
-                w_smooth = self._detector.smooth(aligned.w_steer)
-                events = self._detector.detect(
-                    aligned.t, w_smooth, aligned.v, presmoothed=True
-                )
-                lc_span.set(n_events=len(events))
-
-            # Stage 3: one gradient track per velocity source. The corrected
-            # velocity signals are prepared per source; the EKF then runs
-            # either vectorized across all sources at once (engine "batch")
-            # or source-by-source (engine "scalar") — outputs agree to well
-            # under 1e-9 either way (see tests/core/test_batch_equivalence).
-            with tel.span("ekf_tracks"):
-                signals: list[SampledSignal] = []
-                for source in cfg.velocity_sources:
-                    with tel.span("track", source=source):
-                        signal = recording.velocity_source(source)
-                        if cfg.apply_lane_change_correction and events:
-                            signal = correct_velocity_signal(
-                                signal, aligned.t, w_smooth, events
-                            )
-                        signals.append(signal)
-                tracks: dict[str, GradientTrack] = {}
-                if cfg.ekf_engine == "batch" and len(signals) > 1:
-                    n = len(signals)
-                    batch = estimate_tracks_batch(
-                        [recording.accel_long] * n,
-                        signals,
-                        [aligned.s] * n,
-                        vehicle=self.vehicle,
-                        config=cfg.ekf,
-                        names=list(cfg.velocity_sources),
-                        telemetry=tel,
-                    )
-                    tracks = dict(zip(cfg.velocity_sources, batch))
-                else:
-                    for source, signal in zip(cfg.velocity_sources, signals):
-                        tracks[source] = estimate_track(
-                            recording.accel_long,
-                            signal,
-                            aligned.s,
-                            vehicle=self.vehicle,
-                            config=cfg.ekf,
-                            name=source,
-                            telemetry=tel,
-                        )
-
-            # Stage 4: Eq 6 track fusion on a position grid.
-            with tel.span("fusion"):
-                s_grid = self._fusion_grid(aligned)
-                fused = fuse_tracks(
-                    list(tracks.values()), s_grid, name="fused", telemetry=tel
-                )
+            for stage in self.stages:
+                with tel.span(stage.name) as span:
+                    ctx.span = span
+                    ctx = stage.run(ctx)
+                ctx.span = None
         tel.count("pipeline.estimates")
+
+        if ctx.fused is None or ctx.aligned is None or ctx.s_grid is None:
+            missing = [
+                name
+                for name, value in (
+                    ("aligned", ctx.aligned),
+                    ("fused", ctx.fused),
+                    ("s_grid", ctx.s_grid),
+                )
+                if value is None
+            ]
+            raise EstimationError(
+                f"configured stages {list(cfg.stages)} did not produce "
+                f"{missing}; a complete pipeline needs the alignment and "
+                f"fusion stages (or custom stages filling the same outputs)"
+            )
         return EstimationResult(
-            fused=fused, tracks=tracks, events=events, aligned=aligned, s_grid=s_grid
+            fused=ctx.fused,
+            tracks=ctx.tracks,
+            events=ctx.events,
+            aligned=ctx.aligned,
+            s_grid=ctx.s_grid,
         )
 
     def _fusion_grid(self, aligned: AlignedSteering) -> np.ndarray:
-        finite = aligned.s[np.isfinite(aligned.s)]
-        if len(finite) < 2:
-            raise EstimationError("alignment produced no usable positions")
-        lo = max(0.0, float(np.min(finite)))
-        hi = min(self.road_map.length, float(np.max(finite)))
-        if hi - lo < self.config.fusion_grid_spacing:
-            raise EstimationError("trip covers less than one fusion grid cell")
-        n = int((hi - lo) / self.config.fusion_grid_spacing) + 1
-        return lo + np.arange(n) * self.config.fusion_grid_spacing
+        """The fusion grid for one aligned trip (kept for introspection)."""
+        return fusion_grid(
+            aligned, self.road_map.length, self.config.fusion_grid_spacing
+        )
 
 
 def fuse_estimates(
@@ -241,16 +257,42 @@ def fuse_estimates(
 
     Different vehicles (or repeated runs) upload their per-trip fused
     gradient tracks; the cloud applies the same Eq 6 convex combination.
-    When ``s_grid`` is omitted, the union of the trips' grids defines it.
+    When ``s_grid`` is omitted, the union of the trips' grids defines it:
+    the grid spans all trips and steps by the *finest* spacing any trip
+    used, so mixed-spacing uploads never alias onto a coarser grid.
     """
     if not results:
         raise EstimationError("fuse_estimates needs at least one result")
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("cloud_fusion", n_trips=len(results)):
         if s_grid is None:
+            spacings = []
+            for i, r in enumerate(results):
+                grid = np.asarray(r.s_grid, dtype=float)
+                if grid.ndim != 1 or len(grid) < 2:
+                    raise EstimationError(
+                        f"result {i} has a degenerate s_grid "
+                        f"({len(np.atleast_1d(grid))} point(s)); cloud fusion "
+                        f"needs at least two grid points per trip"
+                    )
+                spacing_i = float(np.median(np.diff(grid)))
+                if not np.isfinite(spacing_i) or spacing_i <= 0.0:
+                    raise EstimationError(
+                        f"result {i} has a non-increasing s_grid "
+                        f"(median spacing {spacing_i}); cloud fusion needs "
+                        f"monotonically increasing grids"
+                    )
+                spacings.append(spacing_i)
+            spacing = min(spacings)
+            if max(spacings) - spacing > 1e-9 * max(spacings):
+                tel.count("pipeline.cloud_fusion_spacing_mismatch")
+                tel.event(
+                    "cloud_fusion.spacing_mismatch",
+                    spacings=sorted(set(round(sp, 9) for sp in spacings)),
+                    used=spacing,
+                )
             lo = min(float(r.s_grid[0]) for r in results)
             hi = max(float(r.s_grid[-1]) for r in results)
-            spacing = float(np.median(np.diff(results[0].s_grid)))
             s_grid = lo + np.arange(int((hi - lo) / spacing) + 1) * spacing
         fused = fuse_tracks(
             [r.fused for r in results],

@@ -1,0 +1,295 @@
+"""Composable stage architecture for the estimation pipeline (paper Fig 1).
+
+The paper's OPS is a four-stage dataflow — data collection → data
+adjustment → gradient estimation → track fusion. Here each stage is a
+first-class object implementing the :class:`Stage` protocol (``name`` +
+``run(ctx) -> ctx``) over a shared :class:`PipelineContext`, and
+:class:`~repro.core.pipeline.GradientEstimationSystem` is a thin runner
+over ``config.stages``. That makes the stage list swappable (ablations),
+extensible (insert a custom stage by name), and expressible as plain data
+(a tuple of registered names inside a serializable config).
+
+Stage ↔ paper mapping
+---------------------
+========================  =====================================================
+``alignment``             data collection: coordinate alignment (Fig 2),
+                          map-matched arc length, steering-rate profile
+``lane_change``           data adjustment: LOESS smoothing + Algorithm 1
+                          detection (Eq 1 displacement rule)
+``ekf_tracks``            gradient estimation: one EKF track per velocity
+                          source (Eq 2 correction applied per source), through
+                          the batch or scalar engine
+``fusion``                track fusion: Eq 6 convex combination on a position
+                          grid
+========================  =====================================================
+
+Custom stages register with :func:`register_stage`; the factory receives
+the owning ``GradientEstimationSystem`` so it can reach the road map,
+vehicle parameters and telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import EstimationError
+from ..obs import Telemetry
+from ..roads.profile import RoadProfile
+from ..sensors.alignment import AlignedSteering, CoordinateAlignment
+from ..sensors.base import SampledSignal
+from ..sensors.phone import PhoneRecording
+from ..vehicle.params import VehicleParams
+from .batch import estimate_tracks_batch
+from .gradient_ekf import estimate_track
+from .lane_change.correction import correct_velocity_signal
+from .lane_change.detector import LaneChangeDetector, LaneChangeEvent
+from .track import GradientTrack
+from .track_fusion import fuse_tracks
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from .pipeline import GradientEstimationSystem, GradientSystemConfig
+
+__all__ = [
+    "EKF_ENGINES",
+    "DEFAULT_STAGES",
+    "STAGE_REGISTRY",
+    "PipelineContext",
+    "Stage",
+    "AlignmentStage",
+    "LaneChangeStage",
+    "TrackEstimationStage",
+    "FusionStage",
+    "register_stage",
+    "build_stages",
+    "validate_stage_names",
+    "fusion_grid",
+]
+
+#: The per-track EKF engines the track-estimation stage can dispatch to.
+EKF_ENGINES = ("batch", "scalar")
+
+#: The paper's Fig 1 dataflow, in order.
+DEFAULT_STAGES = ("alignment", "lane_change", "ekf_tracks", "fusion")
+
+
+@dataclass
+class PipelineContext:
+    """Everything flowing through one trip's estimation.
+
+    The immutable inputs (recording, config, road map, vehicle, telemetry)
+    are set by the runner; each stage fills in its outputs and returns the
+    context. ``span`` is the currently-open telemetry span for the running
+    stage (stages may attach attributes to it); ``extras`` is scratch space
+    for custom stages so they can pass data to each other without touching
+    the core fields.
+    """
+
+    recording: PhoneRecording
+    config: "GradientSystemConfig"
+    road_map: RoadProfile
+    vehicle: VehicleParams
+    telemetry: Telemetry
+    aligned: AlignedSteering | None = None
+    w_smooth: np.ndarray | None = None
+    events: list[LaneChangeEvent] = field(default_factory=list)
+    signals: dict[str, SampledSignal] = field(default_factory=dict)
+    tracks: dict[str, GradientTrack] = field(default_factory=dict)
+    s_grid: np.ndarray | None = None
+    fused: GradientTrack | None = None
+    span: Any = None
+    extras: dict = field(default_factory=dict)
+
+    def require(self, attr: str, needed_by: str) -> Any:
+        """Fetch a prior stage's output, failing with a clear message."""
+        value = getattr(self, attr)
+        if value is None:
+            raise EstimationError(
+                f"stage {needed_by!r} needs {attr!r}, which no earlier stage "
+                f"produced; check the configured stage order"
+            )
+        return value
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline stage: a named transform over the context."""
+
+    name: str
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        """Consume prior stages' outputs from ``ctx``, write this stage's."""
+        ...
+
+
+class AlignmentStage:
+    """Data collection: smartphone coordinate alignment (Fig 2)."""
+
+    name = "alignment"
+
+    def __init__(self, alignment: CoordinateAlignment) -> None:
+        self._alignment = alignment
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        rec = ctx.recording
+        ctx.aligned = self._alignment.align(rec.gyro, rec.speedometer, rec.gps)
+        return ctx
+
+
+class LaneChangeStage:
+    """Data adjustment: LOESS smoothing + Algorithm 1 lane-change detection."""
+
+    name = "lane_change"
+
+    def __init__(self, detector: LaneChangeDetector) -> None:
+        self._detector = detector
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        aligned = ctx.require("aligned", self.name)
+        ctx.w_smooth = self._detector.smooth(aligned.w_steer)
+        ctx.events = self._detector.detect(
+            aligned.t, ctx.w_smooth, aligned.v, presmoothed=True
+        )
+        if ctx.span is not None:
+            ctx.span.set(n_events=len(ctx.events))
+        return ctx
+
+
+class TrackEstimationStage:
+    """Gradient estimation: one EKF track per velocity source.
+
+    The corrected velocity signals are prepared per source (Eq 2 when lane
+    changes were detected); the EKF then runs either vectorized across all
+    sources at once (engine ``"batch"``) or source-by-source (engine
+    ``"scalar"``) — outputs agree to well under 1e-9 either way (see
+    ``tests/core/test_batch_equivalence``).
+    """
+
+    name = "ekf_tracks"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        cfg = ctx.config
+        tel = ctx.telemetry
+        aligned = ctx.require("aligned", self.name)
+        signals: list[SampledSignal] = []
+        for source in cfg.velocity_sources:
+            with tel.span("track", source=source):
+                signal = ctx.recording.velocity_source(source)
+                if cfg.apply_lane_change_correction and ctx.events:
+                    signal = correct_velocity_signal(
+                        signal, aligned.t, ctx.w_smooth, ctx.events
+                    )
+                signals.append(signal)
+        ctx.signals = dict(zip(cfg.velocity_sources, signals))
+        tracks: dict[str, GradientTrack] = {}
+        if cfg.ekf_engine == "batch" and len(signals) > 1:
+            n = len(signals)
+            batch = estimate_tracks_batch(
+                [ctx.recording.accel_long] * n,
+                signals,
+                [aligned.s] * n,
+                vehicle=ctx.vehicle,
+                config=cfg.ekf,
+                names=list(cfg.velocity_sources),
+                telemetry=tel,
+            )
+            tracks = dict(zip(cfg.velocity_sources, batch))
+        else:
+            for source, signal in zip(cfg.velocity_sources, signals):
+                tracks[source] = estimate_track(
+                    ctx.recording.accel_long,
+                    signal,
+                    aligned.s,
+                    vehicle=ctx.vehicle,
+                    config=cfg.ekf,
+                    name=source,
+                    telemetry=tel,
+                )
+        ctx.tracks = tracks
+        return ctx
+
+
+class FusionStage:
+    """Track fusion: Eq 6 convex combination on a position grid."""
+
+    name = "fusion"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        aligned = ctx.require("aligned", self.name)
+        if not ctx.tracks:
+            raise EstimationError(
+                "stage 'fusion' needs at least one gradient track; check the "
+                "configured stage order"
+            )
+        ctx.s_grid = fusion_grid(
+            aligned, ctx.road_map.length, ctx.config.fusion_grid_spacing
+        )
+        ctx.fused = fuse_tracks(
+            list(ctx.tracks.values()), ctx.s_grid, name="fused", telemetry=ctx.telemetry
+        )
+        return ctx
+
+
+def fusion_grid(
+    aligned: AlignedSteering, road_length: float, spacing: float
+) -> np.ndarray:
+    """The trip's fusion position grid: ``spacing``-stepped arc lengths
+    clipped to the portion of the road the trip actually covered."""
+    finite = aligned.s[np.isfinite(aligned.s)]
+    if len(finite) < 2:
+        raise EstimationError("alignment produced no usable positions")
+    lo = max(0.0, float(np.min(finite)))
+    hi = min(road_length, float(np.max(finite)))
+    if hi - lo < spacing:
+        raise EstimationError("trip covers less than one fusion grid cell")
+    n = int((hi - lo) / spacing) + 1
+    return lo + np.arange(n) * spacing
+
+
+#: Stage name -> factory taking the owning system. Factories defer resource
+#: lookups (alignment, detector) to system construction time so a config is
+#: pure data.
+STAGE_REGISTRY: dict[str, Callable[["GradientEstimationSystem"], Stage]] = {}
+
+
+def register_stage(
+    name: str, factory: Callable[["GradientEstimationSystem"], Stage]
+) -> Callable[["GradientEstimationSystem"], Stage]:
+    """Register a stage factory under ``name`` for use in ``config.stages``.
+
+    Re-registering an existing name replaces the factory (handy in tests);
+    the four built-in names are registered at import time.
+    """
+    STAGE_REGISTRY[name] = factory
+    return factory
+
+
+register_stage("alignment", lambda system: AlignmentStage(system.alignment))
+register_stage("lane_change", lambda system: LaneChangeStage(system.detector))
+register_stage("ekf_tracks", lambda system: TrackEstimationStage())
+register_stage("fusion", lambda system: FusionStage())
+
+
+def validate_stage_names(names: tuple[str, ...]) -> None:
+    """Reject unregistered stage names with a message listing the options."""
+    unknown = [n for n in names if n not in STAGE_REGISTRY]
+    if unknown:
+        raise EstimationError(
+            f"unknown stage(s) {sorted(set(unknown))}; "
+            f"registered stages are {sorted(STAGE_REGISTRY)}"
+        )
+    if not names:
+        raise EstimationError(
+            f"at least one stage is required; "
+            f"registered stages are {sorted(STAGE_REGISTRY)}"
+        )
+
+
+def build_stages(
+    names: tuple[str, ...], system: "GradientEstimationSystem"
+) -> list[Stage]:
+    """Instantiate the configured stage list for one system."""
+    validate_stage_names(tuple(names))
+    return [STAGE_REGISTRY[name](system) for name in names]

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..constants import DEG
 from ..roads.builder import SectionSpec, build_profile, s_curve_specs
 from ..roads.elevation import ElevationField
 from ..roads.generator import CityGeneratorConfig, generate_city_network

@@ -14,7 +14,7 @@ detector uses. Everything is deterministic given the config seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -162,7 +162,6 @@ def run_steering_study(config: SteeringStudyConfig | None = None) -> SteeringStu
 
 def _average_features(features: list[ManeuverFeatures], direction: int) -> ManeuverFeatures:
     """Average maneuver features across a driver's repetitions."""
-    first_sign = +1 if direction > 0 else -1
     from ..core.lane_change.features import BumpFeatures
 
     def avg_bump(selector) -> BumpFeatures:

@@ -13,10 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.track import GradientTrack
 from ..errors import ConfigurationError
 from ..roads.network import RoadNetwork
-from ..roads.profile import RoadProfile
 from .vsp import FuelModel
 
 __all__ = [

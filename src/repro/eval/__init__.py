@@ -20,6 +20,7 @@ from .runner import (
     evaluate_methods,
     make_system,
     simulate_recording,
+    system_config,
 )
 from .tables import format_value, render_series, render_table
 
@@ -44,6 +45,7 @@ __all__ = [
     "evaluate_methods",
     "make_system",
     "simulate_recording",
+    "system_config",
     "format_value",
     "render_series",
     "render_table",

@@ -29,6 +29,15 @@ Workers cannot share the caller's registry, so each runs with its own
 parent folds the snapshots in trip order via
 :meth:`~repro.obs.MetricsRegistry.merge_snapshot`, reproducing exactly the
 counters a serial run would have accumulated.
+
+Config transport
+----------------
+Workers receive the run configuration as a plain *spec dict*
+(:meth:`RunnerConfig.to_dict`), not a pickled config object, and rebuild
+it with :meth:`RunnerConfig.from_dict` — the same contract a distributed
+deployment (task queue, RPC) would use, where configs must travel as
+data. Every backend, including ``serial``, goes through the identical
+rebuild path so the reports stay pinned equal.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..config import SerializableConfig
 from ..core.track import GradientTrack
 from ..core.track_fusion import fuse_tracks
 from ..errors import ConfigurationError, EstimationError
@@ -54,7 +64,7 @@ _BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
-class ParallelConfig:
+class ParallelConfig(SerializableConfig):
     """How to fan trips out.
 
     ``thread`` (default) keeps everything in-process — numpy does the heavy
@@ -135,16 +145,22 @@ class EvalReport:
 
 def _run_trip(
     profile: RoadProfile,
-    cfg: RunnerConfig,
+    cfg_spec: dict,
     index: int,
     s_grid: np.ndarray,
     truth: np.ndarray,
     collect_metrics: bool,
     fault_hook: Callable[[int], None] | None,
 ) -> TripOutcome:
-    """Worker body: one trip end to end. Must stay top-level picklable."""
+    """Worker body: one trip end to end. Must stay top-level picklable.
+
+    ``cfg_spec`` is the serialized :class:`RunnerConfig` dict — the worker
+    rebuilds the config (and from it the estimation system) from plain
+    data, never from a pickled config object.
+    """
     if fault_hook is not None:
         fault_hook(index)
+    cfg = RunnerConfig.from_dict(cfg_spec)
     worker_tel = Telemetry(f"eval-trip-{index}") if collect_metrics else None
     _, rec = simulate_recording(profile, cfg, index)
     system = make_system(profile, cfg, telemetry=worker_tel)
@@ -196,8 +212,9 @@ def evaluate_trips(
             truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
 
         collect_metrics = tel.active
+        cfg_spec = cfg.to_dict()  # workers rebuild the config from data
         args = [
-            (profile, cfg, i, s_grid, truth, collect_metrics, fault_hook)
+            (profile, cfg_spec, i, s_grid, truth, collect_metrics, fault_hook)
             for i in range(cfg.n_trips)
         ]
 

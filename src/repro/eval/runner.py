@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..baselines.ann import ANNBaselineConfig, ANNGradientEstimator
+from ..config import SerializableConfig
 from ..baselines.barometer_direct import estimate_gradient_barometer
 from ..baselines.ekf_altitude import AltitudeEKFConfig, estimate_gradient_ekf_baseline
 from ..core.gradient_ekf import GradientEKFConfig
@@ -33,7 +34,6 @@ from ..core.pipeline import (
     GradientSystemConfig,
     fuse_estimates,
 )
-from ..core.track import GradientTrack
 from ..datasets.steering_study import calibrated_thresholds
 from ..errors import ConfigurationError
 from ..obs import NULL_TELEMETRY, Telemetry
@@ -58,6 +58,7 @@ __all__ = [
     "ComparisonResult",
     "collect_recordings",
     "simulate_recording",
+    "system_config",
     "make_system",
     "evaluate_methods",
     "evaluate_fusion_counts",
@@ -75,8 +76,13 @@ FUSION_SUBSETS: dict[int, tuple[str, ...]] = {
 
 
 @dataclass(frozen=True)
-class RunnerConfig:
-    """Shared experiment configuration."""
+class RunnerConfig(SerializableConfig):
+    """Shared experiment configuration.
+
+    Serializable as one JSON document (nested thresholds/ANN configs
+    included) via :meth:`to_dict` / :meth:`from_dict` — the parallel
+    runner ships exactly this spec to its worker processes.
+    """
 
     n_trips: int = 2
     seed: int = 0
@@ -182,6 +188,20 @@ def collect_recordings(
     return out
 
 
+def system_config(
+    cfg: RunnerConfig, velocity_sources: tuple[str, ...] | None = None
+) -> GradientSystemConfig:
+    """The OPS system config the runner settings translate to."""
+    thresholds = cfg.thresholds or calibrated_thresholds()
+    return GradientSystemConfig(
+        ekf=GradientEKFConfig(process=cfg.process),
+        detector=LaneChangeDetectorConfig(thresholds=thresholds),
+        velocity_sources=velocity_sources or cfg.velocity_sources,
+        apply_lane_change_correction=cfg.apply_lane_change_correction,
+        fusion_grid_spacing=cfg.grid_spacing,
+    )
+
+
 def make_system(
     profile: RoadProfile,
     cfg: RunnerConfig,
@@ -189,14 +209,7 @@ def make_system(
     telemetry: Telemetry | None = None,
 ) -> GradientEstimationSystem:
     """An OPS instance configured per the runner settings."""
-    thresholds = cfg.thresholds or calibrated_thresholds()
-    sys_cfg = GradientSystemConfig(
-        ekf=GradientEKFConfig(process=cfg.process),
-        detector=LaneChangeDetectorConfig(thresholds=thresholds),
-        velocity_sources=velocity_sources or cfg.velocity_sources,
-        apply_lane_change_correction=cfg.apply_lane_change_correction,
-        fusion_grid_spacing=cfg.grid_spacing,
-    )
+    sys_cfg = system_config(cfg, velocity_sources)
     return GradientEstimationSystem(profile, config=sys_cfg, telemetry=telemetry)
 
 

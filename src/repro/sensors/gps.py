@@ -75,7 +75,6 @@ class GPSReceiver:
         stride = max(1, int(round(self.period / trace.dt)))
         idx = np.arange(0, len(trace), stride)
         t = trace.t[idx]
-        n = len(idx)
         # Independent position error on each axis, correlated in time via
         # the drift component of the noise model.
         x = self.position_noise.apply(trace.x[idx], self.period, rng)

@@ -24,7 +24,7 @@ reproduce the spread the paper's 10-driver study shows in Table I.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

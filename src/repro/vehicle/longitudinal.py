@@ -16,7 +16,6 @@ Because both directions of the equation live here, tests can verify that
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

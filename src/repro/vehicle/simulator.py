@@ -20,7 +20,7 @@ from ..errors import ConfigurationError
 from ..roads.profile import RoadProfile
 from .driver import DriverModel, DriverProfile
 from .lateral import LaneChangeManeuver
-from .longitudinal import acceleration, driving_torque, required_traction_force
+from .longitudinal import acceleration, required_traction_force
 from .params import DEFAULT_VEHICLE, VehicleParams
 from .trip import TruthTrace
 

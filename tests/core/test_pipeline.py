@@ -177,3 +177,81 @@ class TestCloudFusion:
     def test_fuse_empty_rejected(self):
         with pytest.raises(EstimationError):
             fuse_estimates([])
+
+
+def _fake_result(s_grid):
+    """An EstimationResult with a synthetic fused track covering s_grid."""
+    from repro.core.pipeline import EstimationResult
+    from repro.core.track import GradientTrack
+
+    s_grid = np.asarray(s_grid, dtype=float)
+    lo = float(np.min(s_grid)) if s_grid.size else 0.0
+    hi = float(np.max(s_grid)) if s_grid.size else 1.0
+    s = np.linspace(lo, max(hi, lo + 1.0), 50)
+    track = GradientTrack(
+        name="fake",
+        t=np.linspace(0.0, 10.0, 50),
+        s=s,
+        theta=0.02 * np.ones(50),
+        variance=1e-4 * np.ones(50),
+        v=10.0 * np.ones(50),
+    )
+    return EstimationResult(
+        fused=track, tracks={"fake": track}, events=[], aligned=None, s_grid=s_grid
+    )
+
+
+class TestCloudFusionGrid:
+    """The fuse_estimates grid-construction contract (validated inputs,
+    min-spacing union grid for mixed uploads)."""
+
+    def test_degenerate_single_point_grid_rejected(self):
+        good = _fake_result(np.arange(0.0, 100.0, 5.0))
+        bad = _fake_result(np.array([40.0]))
+        with pytest.raises(EstimationError, match="degenerate s_grid") as excinfo:
+            fuse_estimates([good, bad])
+        assert "result 1" in str(excinfo.value)
+
+    def test_non_increasing_grid_rejected(self):
+        bad = _fake_result(np.array([10.0, 10.0, 10.0]))
+        with pytest.raises(EstimationError, match="non-increasing s_grid"):
+            fuse_estimates([bad])
+
+    def test_mixed_spacings_take_finest(self):
+        from repro.obs import Telemetry
+
+        coarse = _fake_result(np.arange(0.0, 101.0, 5.0))
+        fine = _fake_result(np.arange(0.0, 101.0, 2.0))
+        tel = Telemetry("cloud-fusion-test")
+        fused = fuse_estimates([coarse, fine], telemetry=tel)
+        # The union grid steps by the finest uploaded spacing (2 m), so the
+        # fine trip is not aliased down onto the coarse grid.
+        assert np.allclose(np.diff(fused.s), 2.0)
+        counters = tel.metrics.snapshot()["counters"]
+        assert counters.get("pipeline.cloud_fusion_spacing_mismatch", 0) == 1
+
+    def test_equal_spacings_do_not_flag_mismatch(self):
+        from repro.obs import Telemetry
+
+        a = _fake_result(np.arange(0.0, 101.0, 5.0))
+        b = _fake_result(np.arange(0.0, 101.0, 5.0))
+        tel = Telemetry("cloud-fusion-equal")
+        fused = fuse_estimates([a, b], telemetry=tel)
+        assert np.allclose(np.diff(fused.s), 5.0)
+        counters = tel.metrics.snapshot()["counters"]
+        assert counters.get("pipeline.cloud_fusion_spacing_mismatch", 0) == 0
+
+    def test_explicit_grid_bypasses_validation(self):
+        # Caller-supplied grids are trusted; even a degenerate per-trip grid
+        # does not matter when the fusion grid is given explicitly.
+        bad = _fake_result(np.array([40.0]))
+        grid = np.arange(0.0, 41.0, 5.0)
+        fused = fuse_estimates([bad], s_grid=grid)
+        assert np.array_equal(fused.s, grid)
+
+    def test_union_grid_spans_all_trips(self):
+        early = _fake_result(np.arange(0.0, 51.0, 5.0))
+        late = _fake_result(np.arange(30.0, 121.0, 5.0))
+        fused = fuse_estimates([early, late])
+        assert fused.s[0] == 0.0
+        assert fused.s[-1] >= 115.0

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.constants import KMH
 from repro.datasets.steering_study import (
     SteeringStudyConfig,
     calibrated_thresholds,

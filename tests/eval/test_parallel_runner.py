@@ -172,3 +172,44 @@ class TestParallelConfig:
         par = ParallelConfig()
         assert par.backend == "thread"
         assert par.max_workers == 4
+
+
+class TestConfigTransport:
+    """Workers receive the run config as a plain spec dict, not a pickled
+    object — the contract a distributed deployment would rely on."""
+
+    def test_spec_round_trip_rebuilds_equal_config(self):
+        spec = CFG.to_dict()
+        assert isinstance(spec, dict)
+        json.dumps(spec)  # must be wire-ready
+        assert RunnerConfig.from_dict(spec) == CFG
+
+    def test_worker_rebuilds_system_from_spec(self, profile, serial_run):
+        # Drive the actual worker body with a spec that went through JSON —
+        # exactly what a remote worker would receive — and check the trip
+        # outcome matches the in-process run.
+        from repro.eval.parallel import _run_trip
+        from repro.eval.runner import _common_grid
+        from repro.roads import survey_reference_profile
+
+        serial_report, _ = serial_run
+        spec = json.loads(json.dumps(CFG.to_dict()))
+        reference = survey_reference_profile(profile).smoothed(CFG.reference_smooth_m)
+        s_grid = _common_grid(profile, CFG)
+        truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
+        outcome = _run_trip(profile, spec, 0, s_grid, truth, False, None)
+        assert outcome.ok
+        baseline = serial_report.trips[0]
+        assert outcome.mae_deg == baseline.mae_deg
+        assert outcome.mre == baseline.mre
+        assert np.array_equal(outcome.theta, baseline.theta)
+
+    def test_bad_spec_fails_loudly_in_worker(self, profile):
+        from repro.eval.parallel import _guarded_trip
+
+        grid = np.arange(0.0, 100.0, 5.0)
+        truth = np.zeros_like(grid)
+        bad_spec = {**CFG.to_dict(), "warp_factor": 9}
+        outcome = _guarded_trip((profile, bad_spec, 0, grid, truth, False, None))
+        assert not outcome.ok
+        assert "warp_factor" in outcome.error

@@ -8,7 +8,6 @@ keeps its batch-engine parity with telemetry attached.
 
 import io
 import json
-import logging as stdlib_logging
 
 import numpy as np
 import pytest
@@ -20,8 +19,6 @@ from repro.core.online import StreamingGradientEstimator
 from repro.core.pipeline import GradientEstimationSystem, GradientSystemConfig
 from repro.obs import (
     ENV_SWITCH,
-    JsonLinesFormatter,
-    KeyValueFormatter,
     NULL_TELEMETRY,
     NullTelemetry,
     Telemetry,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import AlignmentError
 from repro.roads import SectionSpec, build_profile
-from repro.sensors import CoordinateAlignment, GPSReceiver, Smartphone
+from repro.sensors import CoordinateAlignment, Smartphone
 from repro.sensors.alignment import estimate_mounting_yaw, map_match
 from repro.vehicle import DriverProfile, simulate_trip
 

@@ -5,7 +5,6 @@ fixtures: road construction consistency, survey correctness bounds, fusion
 algebra, fuel-model monotonicity, maneuver calibration.
 """
 
-import math
 
 import numpy as np
 import pytest
@@ -19,7 +18,6 @@ from repro.roads.builder import SectionSpec, build_profile
 from repro.roads.reference import ReferenceSurveyConfig, survey_reference_profile
 from repro.vehicle.lateral import plan_lane_change
 from repro.vehicle.longitudinal import driving_torque, grade_from_states
-from repro.vehicle.params import DEFAULT_VEHICLE
 
 section_specs = st.lists(
     st.tuples(

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.roads import SectionSpec, build_profile
-from repro.vehicle import DriverProfile, SimulationConfig, TripSimulator, simulate_trip
+from repro.vehicle import DriverProfile, SimulationConfig, simulate_trip
 
 
 class TestCompletion:
