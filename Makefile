@@ -2,7 +2,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check lint test fast bench-smoke bench bench-batch
+.PHONY: check lint test fast test-faults bench-smoke bench bench-batch bench-faults
 
 check: lint test bench-smoke
 
@@ -18,6 +18,9 @@ test:
 fast:
 	$(PYTEST) -q -m "not slow"
 
+test-faults:
+	$(PYTEST) tests/faults -q
+
 bench-smoke:
 	$(PYTEST) benchmarks/bench_obs_overhead.py -q -p no:cacheprovider
 	@python -c "import json; d = json.load(open('benchmarks/bench_telemetry.json')); \
@@ -30,3 +33,7 @@ bench:
 bench-batch:
 	$(PYTEST) benchmarks/bench_batch_vs_scalar.py -q -p no:cacheprovider
 	PYTHONPATH=src python benchmarks/bench_batch_vs_scalar.py
+
+bench-faults:
+	$(PYTEST) benchmarks/bench_faults.py -q -p no:cacheprovider
+	PYTHONPATH=src python benchmarks/bench_faults.py --reduced

@@ -1,0 +1,135 @@
+"""Resilience matrix: RMSE degradation under fault kind × severity.
+
+Pytest mode (``pytest benchmarks/bench_faults.py``) is the CI smoke: a
+small kind × severity grid on the red route asserting the robustness
+contract — every scenario completes (``ok`` recorded, never raised), and
+short-gap faults (< 2 s dropouts mid-trip) stay within 2× the clean
+baseline RMSE.
+
+Script mode (``PYTHONPATH=src python benchmarks/bench_faults.py``) sweeps
+the full fault taxonomy across the severity grid and writes the
+degradation matrix to ``benchmarks/BENCH_faults.json``. ``--reduced``
+shrinks the severity grid (nightly CI budget); ``--no-sanitize`` runs the
+plain paper pipeline instead of :data:`~repro.core.stages.ROBUST_STAGES`
+for an ablation of what the degradation machinery buys.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.datasets.charlottesville import red_route
+from repro.eval.parallel import ParallelConfig
+from repro.eval.resilience import (
+    ResilienceConfig,
+    run_resilience_matrix,
+    write_resilience_artifact,
+)
+from repro.eval.runner import RunnerConfig
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_faults.json"
+
+#: Severity grid of the full sweep; ``--reduced`` drops the harshest row.
+FULL_SEVERITIES = (0.5, 1.0, 2.0, 4.0)
+REDUCED_SEVERITIES = (0.5, 1.0, 2.0)
+
+
+def run_matrix(
+    severities: tuple[float, ...] = FULL_SEVERITIES,
+    use_sanitize: bool = True,
+    n_trips: int = 2,
+    telemetry=None,
+) -> dict:
+    """One full-taxonomy sweep on the red route."""
+    return run_resilience_matrix(
+        red_route(),
+        base_cfg=RunnerConfig(n_trips=n_trips, seed=3),
+        config=ResilienceConfig(severities=severities, use_sanitize=use_sanitize),
+        parallel=ParallelConfig(max_workers=4, backend="thread"),
+        telemetry=telemetry,
+    )
+
+
+def short_gap_scenarios(result: dict) -> list[dict]:
+    """Window faults shorter than 2 s — the sanitize stage's home turf."""
+    return [
+        s
+        for s in result["scenarios"]
+        if s["kind"] in ("gps_dropout", "nan_burst", "inf_burst", "stuck")
+        and s["severity"] < 2.0
+    ]
+
+
+# -- pytest smoke ------------------------------------------------------------
+
+
+def test_resilience_matrix_smoke(bench_telemetry):
+    result = run_matrix(severities=(0.5, 2.0), telemetry=bench_telemetry)
+
+    assert result["schema"] == "repro.bench_faults/v1"
+    assert result["clean_rmse_deg"] is not None
+    assert result["clean_rmse_deg"] < 1.0  # red-route clean baseline
+
+    # Robustness contract 1: the matrix records every scenario — a fault
+    # that crashes the pipeline must surface as ok=False data, not raise.
+    n_kinds = len(ResilienceConfig().fault_kinds)
+    assert len(result["scenarios"]) == n_kinds * len(result["severities"])
+    assert all("ok" in s for s in result["scenarios"])
+    assert all(s["ok"] for s in result["scenarios"]), [
+        s for s in result["scenarios"] if not s["ok"]
+    ]
+
+    # Robustness contract 2: short-gap faults degrade gracefully.
+    short = short_gap_scenarios(result)
+    assert short, "severity grid must include a sub-2s window fault"
+    for s in short:
+        assert s["rmse_ratio"] is not None
+        assert s["rmse_ratio"] < 2.0, s
+
+    json.dumps(result)  # the artifact must stay strict JSON
+
+    print(
+        "\nclean RMSE {:.3f} deg; worst short-gap ratio {:.3f}\n".format(
+            result["clean_rmse_deg"],
+            max(s["rmse_ratio"] for s in short),
+        ),
+        flush=True,
+    )
+
+
+# -- script mode -------------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reduced",
+        action="store_true",
+        help="smaller severity grid for the nightly CI budget",
+    )
+    parser.add_argument(
+        "--no-sanitize",
+        action="store_true",
+        help="ablation: run the plain paper pipeline without the sanitize stage",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=ARTIFACT, help="artifact path"
+    )
+    args = parser.parse_args()
+
+    severities = REDUCED_SEVERITIES if args.reduced else FULL_SEVERITIES
+    result = run_matrix(severities=severities, use_sanitize=not args.no_sanitize)
+    path = write_resilience_artifact(result, args.out)
+
+    n_ok = sum(1 for s in result["scenarios"] if s["ok"])
+    print(f"wrote {path} ({n_ok}/{len(result['scenarios'])} scenarios ok)")
+    print(f"clean RMSE: {result['clean_rmse_deg']} deg")
+    for s in result["scenarios"]:
+        ratio = s["rmse_ratio"] if s["ok"] else f"FAILED: {s['error']}"
+        print(f"  {s['kind']:<12} severity {s['severity']:<4} -> {ratio}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from .baselines import (
 )
 from .config import SerializableConfig
 from .core import (
+    ROBUST_STAGES,
     EstimationResult,
     ExtendedKalmanFilter,
     GradientEKFConfig,
@@ -44,6 +45,7 @@ from .core import (
     LaneChangeEvent,
     LaneChangeThresholds,
     PipelineContext,
+    SanitizeConfig,
     Stage,
     estimate_track,
     fuse_estimates,
@@ -58,8 +60,9 @@ from .datasets import (
     s_curve_route,
 )
 from .emissions import CO2, PM25, FuelModel, gradient_fuel_uplift, network_emission_map
-from .errors import ReproError
+from .errors import DegradedInputError, FaultInjectionError, ReproError
 from .eval import ComparisonResult, RunnerConfig, evaluate_fusion_counts, evaluate_methods
+from .faults import FAULT_KINDS, FaultSpec, FaultSuiteConfig, apply_fault_suite
 from .obs import NullTelemetry, Telemetry, export_run, telemetry_enabled
 from .roads import (
     RoadNetwork,
@@ -96,6 +99,8 @@ __all__ = [
     "LaneChangeEvent",
     "LaneChangeThresholds",
     "PipelineContext",
+    "ROBUST_STAGES",
+    "SanitizeConfig",
     "SerializableConfig",
     "Stage",
     "estimate_track",
@@ -113,6 +118,12 @@ __all__ = [
     "gradient_fuel_uplift",
     "network_emission_map",
     "ReproError",
+    "DegradedInputError",
+    "FaultInjectionError",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSuiteConfig",
+    "apply_fault_suite",
     "NullTelemetry",
     "Telemetry",
     "export_run",

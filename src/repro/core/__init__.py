@@ -11,9 +11,11 @@ from .gradient_ekf import (
     estimate_track_generic,
     measurements_on_timebase,
 )
+from .sanitize import SanitizeConfig, SanitizeStage, sanitize_recording, sanitize_signal
 from .stages import (
     DEFAULT_STAGES,
     EKF_ENGINES,
+    ROBUST_STAGES,
     STAGE_REGISTRY,
     AlignmentStage,
     FusionStage,
@@ -58,7 +60,12 @@ __all__ = [
     "measurements_on_timebase",
     "DEFAULT_STAGES",
     "EKF_ENGINES",
+    "ROBUST_STAGES",
     "STAGE_REGISTRY",
+    "SanitizeConfig",
+    "SanitizeStage",
+    "sanitize_recording",
+    "sanitize_signal",
     "AlignmentStage",
     "FusionStage",
     "LaneChangeStage",

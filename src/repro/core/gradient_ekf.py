@@ -28,7 +28,7 @@ import numpy as np
 
 from ..config import SerializableConfig
 from ..constants import GRAVITY
-from ..errors import EstimationError
+from ..errors import DegradedInputError, EstimationError
 from ..obs import Telemetry
 from ..sensors.base import SampledSignal
 from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
@@ -221,7 +221,9 @@ def measurements_on_timebase(
     z = np.full(len(t), np.nan)
     ok = velocity.valid & np.isfinite(velocity.values)
     if not np.any(ok):
-        raise EstimationError(f"velocity source {velocity.name!r} has no valid samples")
+        raise DegradedInputError(
+            f"velocity source {velocity.name!r} has no valid samples"
+        )
     t_meas = velocity.t[ok]
     v_meas = velocity.values[ok]
     idx = np.searchsorted(t, t_meas)

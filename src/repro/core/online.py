@@ -73,6 +73,17 @@ class StreamingGradientEstimator:
         self._t = 0.0
         self._ticks = 0
 
+        # Divergence recovery: remember the last finite state and the
+        # initial covariance so a non-finite tick (NaN accel burst, Inf
+        # measurement) can be rolled back instead of poisoning every
+        # subsequent estimate. Always on — a phone deployment cannot afford
+        # a filter that never comes back.
+        self._ok_v = self._core.v
+        self._ok_theta = 0.0
+        self._p0_11 = self._core.p11
+        self._p0_22 = self._core.p22
+        self._recoveries = 0
+
         # Telemetry: counter objects are resolved once here so the per-tick
         # cost is one attribute increment; with telemetry disabled the push
         # path pays only a single `is None` check.
@@ -84,11 +95,17 @@ class StreamingGradientEstimator:
             self._c_updates = obs.metrics.counter("stream.updates")
             self._c_clamped = obs.metrics.counter("stream.clamped_ticks")
             self._c_nonfinite = obs.metrics.counter("stream.nonfinite_guard")
+            self._c_cov_reset = obs.metrics.counter("ekf.covariance_reset")
 
     @property
     def ticks(self) -> int:
         """Samples processed so far."""
         return self._ticks
+
+    @property
+    def recoveries(self) -> int:
+        """Covariance resets performed after non-finite ticks."""
+        return self._recoveries
 
     @property
     def state(self) -> StreamState:
@@ -104,8 +121,18 @@ class StreamingGradientEstimator:
 
     def push(self, accel: float, v_meas: float | None = None) -> StreamState:
         """Advance one tick with an accelerometer sample and, when a
-        velocity measurement arrived this tick, fuse it."""
+        velocity measurement arrived this tick, fuse it.
+
+        Degraded input is survivable: a non-finite ``v_meas`` is treated as
+        "no measurement this tick" (predict-only), and a tick whose state
+        goes non-finite (NaN/Inf accelerometer) is counted by the guard and
+        then *recovered* — the last finite state is restored with the
+        covariance reset to its initial (uncertain) value, so estimates
+        converge again once the input heals.
+        """
         core = self._core
+        if v_meas is not None and v_meas != v_meas:  # NaN: no measurement
+            v_meas = None
         if self._need_init:
             # Bootstrap the velocity state from the first measurement.
             if v_meas is not None:
@@ -122,6 +149,11 @@ class StreamingGradientEstimator:
         self._ticks += 1
         if self._obs is not None:
             self._record_tick(updated)
+        if math.isfinite(core.theta) and math.isfinite(core.v):
+            self._ok_v = core.v
+            self._ok_theta = core.theta
+        else:
+            self._recover()
         return StreamState(
             t=self._t,
             v=core.v,
@@ -129,6 +161,18 @@ class StreamingGradientEstimator:
             theta_variance=core.p22,
             updated=updated,
         )
+
+    def _recover(self) -> None:
+        """Roll back to the last finite state with the covariance reset."""
+        core = self._core
+        core.v = self._ok_v
+        core.theta = self._ok_theta
+        core.p11 = self._p0_11
+        core.p12 = 0.0
+        core.p22 = self._p0_22
+        self._recoveries += 1
+        if self._obs is not None:
+            self._c_cov_reset.inc()
 
     def _record_tick(self, updated: bool) -> None:
         """Per-tick counters plus a one-shot divergence/NaN guard event."""

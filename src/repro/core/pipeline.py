@@ -37,9 +37,11 @@ from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording
 from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
 from .gradient_ekf import GradientEKFConfig
 from .lane_change.detector import LaneChangeDetector, LaneChangeDetectorConfig, LaneChangeEvent
+from .sanitize import SanitizeConfig
 from .stages import (
     DEFAULT_STAGES,
     EKF_ENGINES,
+    ROBUST_STAGES,
     PipelineContext,
     Stage,
     build_stages,
@@ -51,6 +53,7 @@ from .track_fusion import fuse_tracks
 
 __all__ = [
     "EKF_ENGINES",
+    "ROBUST_STAGES",
     "GradientSystemConfig",
     "EstimationResult",
     "GradientEstimationSystem",
@@ -80,6 +83,16 @@ class GradientSystemConfig(SerializableConfig):
         Wrap the road map in a :class:`~repro.roads.cache.CachedRoadProfile`
         so repeated geometry queries (curvature for ``w_road``, arc-length
         interpolation) across trips hit an LRU instead of re-interpolating.
+    sanitize:
+        Tuning of the optional ``"sanitize"`` stage (short-gap repair
+        threshold); only read when that stage is in ``stages`` (e.g. via
+        :data:`~repro.core.stages.ROBUST_STAGES`).
+    min_track_finite_fraction:
+        Fusion quality gate: tracks whose fraction of finite gradient
+        estimates falls below this are dropped from fusion instead of
+        poisoning it (``pipeline.track_rejected``). Healthy tracks sit at
+        1.0, so the default of 0.5 never touches clean runs; 0 disables
+        the gate.
     stages:
         The pipeline as an ordered tuple of registered stage names
         (:data:`~repro.core.stages.STAGE_REGISTRY`). Defaults to the
@@ -94,6 +107,8 @@ class GradientSystemConfig(SerializableConfig):
     fusion_grid_spacing: float = 5.0
     ekf_engine: str = "batch"
     cache_geometry: bool = True
+    sanitize: SanitizeConfig = field(default_factory=SanitizeConfig)
+    min_track_finite_fraction: float = 0.5
     stages: tuple[str, ...] = DEFAULT_STAGES
 
     def __post_init__(self) -> None:
@@ -120,6 +135,11 @@ class GradientSystemConfig(SerializableConfig):
             raise EstimationError(
                 f"unknown ekf_engine {self.ekf_engine!r}; "
                 f"valid options are {list(EKF_ENGINES)}"
+            )
+        if not 0.0 <= self.min_track_finite_fraction <= 1.0:
+            raise EstimationError(
+                f"min_track_finite_fraction must be in [0, 1], got "
+                f"{self.min_track_finite_fraction}"
             )
         validate_stage_names(self.stages)
 

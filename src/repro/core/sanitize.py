@@ -1,0 +1,234 @@
+"""Input sanitization: repair or mask degraded sensor data before estimation.
+
+The estimation stages assume gap-free, finite inputs: one NaN accelerometer
+sample poisons an EKF track from that tick on, and an Inf gyro sample
+spreads through the LOESS smoother into lane-change detection. This module
+is the pipeline's first line of defence — a stage (registered as
+``"sanitize"``) that walks every sensor channel of the incoming
+:class:`~repro.sensors.phone.PhoneRecording` and
+
+* **interpolates short gaps** — non-finite runs no longer than
+  ``max_gap_s`` with finite samples on both sides are linearly bridged
+  (``pipeline.gap_interpolated`` counts the repairs);
+* **masks long outages** — longer (or edge-touching) runs are neutralized
+  per channel policy (``pipeline.gap_masked``): *drive* channels
+  (accelerometer, gyro) are zero-filled so the filters coast, *measurement*
+  channels (speedometer, CAN-bus, barometer) are left NaN with
+  ``valid=False`` so the EKF runs predict-only across the outage;
+* **re-masks GPS** — fixes whose position or speed went non-finite lose
+  their ``available`` flag, turning corrupt fixes into ordinary outage
+  epochs the alignment already dead-reckons through;
+* **rejects unusable timebases** — non-finite or non-increasing timestamps
+  raise :class:`~repro.errors.DegradedInputError` naming the channel,
+  since no downstream math survives an unordered timebase.
+
+Clean-input identity
+--------------------
+A recording with nothing to repair passes through *object-identical*: the
+stage returns the same ``PhoneRecording`` instance, so enabling the
+sanitize stage on clean data changes nothing, bit for bit (pinned by
+``tests/faults/test_pipeline_degradation.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SerializableConfig
+from ..errors import ConfigurationError, DegradedInputError
+from ..obs import NULL_TELEMETRY, Telemetry
+from ..sensors.base import SampledSignal
+from ..sensors.gps import GPSFixes
+from ..sensors.phone import PhoneRecording
+
+__all__ = [
+    "SanitizeConfig",
+    "SanitizeStage",
+    "sanitize_recording",
+    "sanitize_signal",
+]
+
+#: How each channel's long outages are neutralized: drive channels coast on
+#: zeros, measurement channels stay NaN (valid=False) for predict-only EKF.
+_CHANNEL_POLICY = {
+    "accel_long": "zero",
+    "accel_lat": "zero",
+    "gyro": "zero",
+    "speedometer": "mask",
+    "barometer": "mask",
+    "canbus": "mask",
+}
+
+
+@dataclass(frozen=True)
+class SanitizeConfig(SerializableConfig):
+    """Tuning of the sanitize stage.
+
+    ``max_gap_s`` is the longest non-finite run [s] that linear
+    interpolation may bridge; anything longer is treated as a true outage
+    and masked instead of invented.
+    """
+
+    max_gap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_gap_s < 0.0 or not np.isfinite(self.max_gap_s):
+            raise ConfigurationError(
+                f"max_gap_s must be finite and >= 0, got {self.max_gap_s}"
+            )
+
+
+def _check_timebase(name: str, t: np.ndarray) -> None:
+    if not np.all(np.isfinite(t)):
+        raise DegradedInputError(
+            f"channel {name!r} has non-finite timestamps; the recording "
+            f"cannot be estimated"
+        )
+    if len(t) > 1 and not np.all(np.diff(t) > 0.0):
+        raise DegradedInputError(
+            f"channel {name!r} has a non-increasing timebase; the recording "
+            f"cannot be estimated"
+        )
+
+
+def _bad_runs(bad: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous ``[start, end)`` runs of True in a boolean array."""
+    idx = np.flatnonzero(np.diff(np.concatenate(([False], bad, [False])).astype(int)))
+    return list(zip(idx[0::2], idx[1::2]))
+
+
+def sanitize_signal(
+    signal: SampledSignal,
+    max_gap_s: float,
+    policy: str = "mask",
+) -> tuple[SampledSignal, int, int]:
+    """Repair one signal; returns ``(signal, n_interpolated, n_masked)``.
+
+    The input signal is returned unchanged (same object) when every sample
+    is already finite. ``policy`` selects the long-outage fill: ``"zero"``
+    writes 0.0 (drive channels coast), ``"mask"`` leaves NaN with the
+    sample marked invalid (measurement channels go predict-only).
+    """
+    bad = ~np.isfinite(signal.values)
+    if not bad.any():
+        return signal, 0, 0
+
+    t = signal.t
+    values = signal.values.copy()
+    valid = signal.valid.copy()
+    ok_idx = np.flatnonzero(~bad)
+    n_interp = 0
+    n_masked = 0
+    for start, end in _bad_runs(bad):
+        # Interior runs short enough to bridge are interpolated from the
+        # finite neighbours; edge-touching or long runs are true outages.
+        interior = start > 0 and end < len(values) and not bad[start - 1] and not bad[end]
+        gap_s = float(t[min(end, len(t) - 1)] - t[max(start - 1, 0)])
+        if interior and gap_s <= max_gap_s and len(ok_idx):
+            values[start:end] = np.interp(t[start:end], t[ok_idx], values[ok_idx])
+            valid[start:end] = True
+            n_interp += 1
+        else:
+            values[start:end] = 0.0 if policy == "zero" else np.nan
+            valid[start:end] = False
+            n_masked += 1
+    repaired = SampledSignal(
+        t=t,
+        values=values,
+        valid=valid,
+        name=signal.name,
+        unit=signal.unit,
+        meta=dict(signal.meta),
+    )
+    return repaired, n_interp, n_masked
+
+
+def _sanitize_gps(gps: GPSFixes) -> tuple[GPSFixes, int]:
+    """Drop the ``available`` flag from fixes with non-finite fields."""
+    corrupt = gps.available & ~(
+        np.isfinite(gps.x) & np.isfinite(gps.y) & np.isfinite(gps.speed)
+    )
+    n_corrupt = int(np.count_nonzero(corrupt))
+    if n_corrupt == 0:
+        return gps, 0
+    gone = np.where(corrupt, np.nan, 1.0)
+    return (
+        GPSFixes(
+            t=gps.t.copy(),
+            x=gps.x * gone,
+            y=gps.y * gone,
+            speed=gps.speed * gone,
+            available=gps.available & ~corrupt,
+        ),
+        n_corrupt,
+    )
+
+
+def sanitize_recording(
+    recording: PhoneRecording,
+    config: SanitizeConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> PhoneRecording:
+    """Validate and repair a whole recording (identity when already clean)."""
+    cfg = config or SanitizeConfig()
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    _check_timebase("recording", recording.t)
+    for channel in _CHANNEL_POLICY:
+        _check_timebase(channel, getattr(recording, channel).t)
+    _check_timebase("gps", recording.gps.t)
+
+    changes: dict = {}
+    n_interp = 0
+    n_masked = 0
+    for channel, policy in _CHANNEL_POLICY.items():
+        signal = getattr(recording, channel)
+        repaired, interp, masked = sanitize_signal(signal, cfg.max_gap_s, policy)
+        if repaired is not signal:
+            changes[channel] = repaired
+            if tel.active:
+                tel.event(
+                    "sanitize.channel_repaired",
+                    channel=channel,
+                    interpolated=interp,
+                    masked=masked,
+                )
+        n_interp += interp
+        n_masked += masked
+
+    gps, n_gps = _sanitize_gps(recording.gps)
+    if n_gps:
+        changes["gps"] = gps
+        if tel.active:
+            tel.event("sanitize.gps_fixes_masked", n_fixes=n_gps)
+
+    if tel.active:
+        if n_interp:
+            tel.count("pipeline.gap_interpolated", n_interp)
+        if n_masked:
+            tel.count("pipeline.gap_masked", n_masked)
+        if n_gps:
+            tel.count("pipeline.gps_fixes_masked", n_gps)
+
+    if not changes:
+        return recording
+    return dataclasses.replace(recording, **changes)
+
+
+class SanitizeStage:
+    """Pipeline stage wrapper around :func:`sanitize_recording`."""
+
+    name = "sanitize"
+
+    def __init__(self, config: SanitizeConfig | None = None) -> None:
+        self.config = config or SanitizeConfig()
+
+    def run(self, ctx):  # ctx: repro.core.stages.PipelineContext
+        before = ctx.recording
+        ctx.recording = sanitize_recording(before, self.config, ctx.telemetry)
+        if ctx.span is not None and ctx.recording is not before:
+            ctx.span.set(repaired=True)
+        return ctx

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..errors import EstimationError
+from ..errors import DegradedInputError, EstimationError
 from ..obs import Telemetry
 from ..roads.profile import RoadProfile
 from ..sensors.alignment import AlignedSteering, CoordinateAlignment
@@ -46,6 +46,7 @@ from .batch import estimate_tracks_batch
 from .gradient_ekf import estimate_track
 from .lane_change.correction import correct_velocity_signal
 from .lane_change.detector import LaneChangeDetector, LaneChangeEvent
+from .sanitize import SanitizeStage
 from .track import GradientTrack
 from .track_fusion import fuse_tracks
 
@@ -55,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
 __all__ = [
     "EKF_ENGINES",
     "DEFAULT_STAGES",
+    "ROBUST_STAGES",
     "STAGE_REGISTRY",
     "PipelineContext",
     "Stage",
@@ -73,6 +75,11 @@ EKF_ENGINES = ("batch", "scalar")
 
 #: The paper's Fig 1 dataflow, in order.
 DEFAULT_STAGES = ("alignment", "lane_change", "ekf_tracks", "fusion")
+
+#: The degraded-sensor pipeline: sanitization prepended to the paper's
+#: dataflow. On clean inputs the sanitize stage is an identity pass-through,
+#: so this stage list produces bit-identical output to ``DEFAULT_STAGES``.
+ROBUST_STAGES = ("sanitize",) + DEFAULT_STAGES
 
 
 @dataclass
@@ -165,6 +172,13 @@ class TrackEstimationStage:
     sources at once (engine ``"batch"``) or source-by-source (engine
     ``"scalar"``) — outputs agree to well under 1e-9 either way (see
     ``tests/core/test_batch_equivalence``).
+
+    Degraded sources do not take the trip down: a velocity source with no
+    usable measurement at all (every sample invalid or non-finite, e.g. GPS
+    through a total outage, a speedometer masked by the sanitize stage) is
+    *rejected* — counted under ``pipeline.track_rejected`` — and estimation
+    continues with the surviving sources. Only when every configured source
+    is rejected does the stage raise :class:`~repro.errors.DegradedInputError`.
     """
 
     name = "ekf_tracks"
@@ -174,15 +188,33 @@ class TrackEstimationStage:
         tel = ctx.telemetry
         aligned = ctx.require("aligned", self.name)
         signals: list[SampledSignal] = []
+        kept: list[str] = []
         for source in cfg.velocity_sources:
-            with tel.span("track", source=source):
+            with tel.span("track", source=source) as span:
                 signal = ctx.recording.velocity_source(source)
                 if cfg.apply_lane_change_correction and ctx.events:
                     signal = correct_velocity_signal(
                         signal, aligned.t, ctx.w_smooth, ctx.events
                     )
+                if not np.any(signal.valid & np.isfinite(signal.values)):
+                    span.set(rejected=True)
+                    if tel.active:
+                        tel.count("pipeline.track_rejected")
+                        tel.event(
+                            "pipeline.track_rejected",
+                            source=source,
+                            reason="no_valid_measurements",
+                        )
+                    continue
                 signals.append(signal)
-        ctx.signals = dict(zip(cfg.velocity_sources, signals))
+                kept.append(source)
+        if not kept:
+            raise DegradedInputError(
+                f"every velocity source in {list(cfg.velocity_sources)} was "
+                f"rejected (no valid measurements); the recording is too "
+                f"degraded to estimate"
+            )
+        ctx.signals = dict(zip(kept, signals))
         tracks: dict[str, GradientTrack] = {}
         if cfg.ekf_engine == "batch" and len(signals) > 1:
             n = len(signals)
@@ -192,12 +224,12 @@ class TrackEstimationStage:
                 [aligned.s] * n,
                 vehicle=ctx.vehicle,
                 config=cfg.ekf,
-                names=list(cfg.velocity_sources),
+                names=kept,
                 telemetry=tel,
             )
-            tracks = dict(zip(cfg.velocity_sources, batch))
+            tracks = dict(zip(kept, batch))
         else:
-            for source, signal in zip(cfg.velocity_sources, signals):
+            for source, signal in zip(kept, signals):
                 tracks[source] = estimate_track(
                     ctx.recording.accel_long,
                     signal,
@@ -212,23 +244,52 @@ class TrackEstimationStage:
 
 
 class FusionStage:
-    """Track fusion: Eq 6 convex combination on a position grid."""
+    """Track fusion: Eq 6 convex combination on a position grid.
+
+    Fusion is quality-gated: a track whose gradient estimates are mostly
+    non-finite (finite fraction below ``config.min_track_finite_fraction``)
+    carries more poison than information, so it is dropped — counted under
+    ``pipeline.track_rejected`` — rather than fused. Healthy tracks always
+    pass the gate (their finite fraction is 1.0), so clean-input output is
+    unchanged. If the gate rejects every track the trip is unestimable and
+    :class:`~repro.errors.DegradedInputError` is raised.
+    """
 
     name = "fusion"
 
     def run(self, ctx: PipelineContext) -> PipelineContext:
+        tel = ctx.telemetry
         aligned = ctx.require("aligned", self.name)
         if not ctx.tracks:
             raise EstimationError(
                 "stage 'fusion' needs at least one gradient track; check the "
                 "configured stage order"
             )
+        min_fraction = ctx.config.min_track_finite_fraction
+        kept: list[GradientTrack] = []
+        for name, track in ctx.tracks.items():
+            fraction = float(np.mean(np.isfinite(track.theta)))
+            if fraction < min_fraction:
+                if tel.active:
+                    tel.count("pipeline.track_rejected")
+                    tel.event(
+                        "pipeline.track_rejected",
+                        source=name,
+                        reason="low_finite_fraction",
+                        finite_fraction=round(fraction, 4),
+                    )
+                continue
+            kept.append(track)
+        if not kept:
+            raise DegradedInputError(
+                f"every gradient track fell below the fusion quality gate "
+                f"(finite fraction < {min_fraction}); the recording is too "
+                f"degraded to estimate"
+            )
         ctx.s_grid = fusion_grid(
             aligned, ctx.road_map.length, ctx.config.fusion_grid_spacing
         )
-        ctx.fused = fuse_tracks(
-            list(ctx.tracks.values()), ctx.s_grid, name="fused", telemetry=ctx.telemetry
-        )
+        ctx.fused = fuse_tracks(kept, ctx.s_grid, name="fused", telemetry=tel)
         return ctx
 
 
@@ -266,6 +327,7 @@ def register_stage(
     return factory
 
 
+register_stage("sanitize", lambda system: SanitizeStage(system.config.sanitize))
 register_stage("alignment", lambda system: AlignmentStage(system.alignment))
 register_stage("lane_change", lambda system: LaneChangeStage(system.detector))
 register_stage("ekf_tracks", lambda system: TrackEstimationStage())

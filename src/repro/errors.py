@@ -15,7 +15,9 @@ __all__ = [
     "SensorError",
     "AlignmentError",
     "EstimationError",
+    "DegradedInputError",
     "FusionError",
+    "FaultInjectionError",
     "TrainingError",
 ]
 
@@ -48,8 +50,27 @@ class EstimationError(ReproError):
     """A gradient estimator failed (divergence, empty input, shape mismatch)."""
 
 
+class DegradedInputError(EstimationError):
+    """An estimator input was too degraded to use (no valid measurements,
+    an unusable timebase, a fully-masked sensor channel).
+
+    Raised instead of the generic :class:`EstimationError` so the pipeline's
+    graceful-degradation layer can distinguish "this one input is dead —
+    drop it and continue" from a genuine estimator bug.
+    """
+
+
 class FusionError(EstimationError):
     """Track fusion received incompatible or empty tracks."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection spec was invalid (unknown fault kind or channel,
+    negative window, out-of-range severity).
+
+    Raised at :class:`~repro.faults.FaultSuiteConfig` build time, never
+    while a fault is being applied — a valid suite always applies cleanly.
+    """
 
 
 class TrainingError(ReproError):

@@ -7,9 +7,16 @@ from .metrics import (
     error_cdf,
     mean_absolute_error,
     mean_relative_error,
+    root_mean_square_error,
     score_lane_change_detection,
 )
 from .parallel import EvalReport, ParallelConfig, TripOutcome, evaluate_trips
+from .resilience import (
+    ResilienceConfig,
+    fault_suite_for,
+    run_resilience_matrix,
+    write_resilience_artifact,
+)
 from .runner import (
     FUSION_SUBSETS,
     ComparisonResult,
@@ -31,11 +38,16 @@ __all__ = [
     "error_cdf",
     "mean_absolute_error",
     "mean_relative_error",
+    "root_mean_square_error",
     "score_lane_change_detection",
     "EvalReport",
     "ParallelConfig",
     "TripOutcome",
     "evaluate_trips",
+    "ResilienceConfig",
+    "fault_suite_for",
+    "run_resilience_matrix",
+    "write_resilience_artifact",
     "FUSION_SUBSETS",
     "ComparisonResult",
     "MethodEstimate",

@@ -22,6 +22,7 @@ __all__ = [
     "absolute_errors",
     "mean_absolute_error",
     "mean_relative_error",
+    "root_mean_square_error",
     "error_cdf",
     "cdf_value_at",
     "DetectionScore",
@@ -55,6 +56,20 @@ def mean_relative_error(estimate: np.ndarray, truth: np.ndarray) -> float:
     if scale <= 0.0:
         raise EstimationError("MRE undefined on an everywhere-flat reference")
     return float(np.nanmean(err)) / scale
+
+
+def root_mean_square_error(
+    estimate: np.ndarray, truth: np.ndarray, degrees: bool = False
+) -> float:
+    """RMSE over positions, ignoring NaNs.
+
+    The resilience matrix reports RMSE rather than MAE because degraded
+    inputs produce a few large excursions over an otherwise-fine profile —
+    exactly the error shape a squared metric surfaces and a mean absolute
+    error buries.
+    """
+    err = absolute_errors(estimate, truth, degrees)
+    return float(np.sqrt(np.nanmean(err**2)))
 
 
 def error_cdf(errors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

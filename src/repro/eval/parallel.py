@@ -18,9 +18,14 @@ trip-index order, so the report is identical for the ``serial``,
 Fault tolerance
 ---------------
 A trip that raises degrades the run to a *partial* report instead of
-killing it: the failed trip is recorded with its error string, the
-``eval.worker_failed`` telemetry counter increments, and fusion proceeds
-over the surviving trips. Only a run with zero surviving trips raises.
+killing it. A crashed trip is first retried (``ParallelConfig.retries``,
+default one attempt) inline with the same seed — trips are deterministic
+in ``(cfg.seed, index)``, so a retry only helps against environmental
+failures (a killed worker process, an OOM, a transient I/O error), and
+each attempt increments ``eval.worker_retried``. A trip that still fails
+is recorded with its error string, the ``eval.worker_failed`` counter
+increments, and fusion proceeds over the surviving trips. Only a run with
+zero surviving trips raises.
 
 Telemetry
 ---------
@@ -73,10 +78,15 @@ class ParallelConfig(SerializableConfig):
     shipping the profile and results across process boundaries. ``serial``
     runs the identical code path inline; it is the reference the parallel
     backends are pinned against.
+
+    ``retries`` bounds how many times a crashed trip is re-run (inline, in
+    the parent, with the identical seed) before it is recorded as failed;
+    0 disables retrying.
     """
 
     max_workers: int = 4
     backend: str = "thread"
+    retries: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -86,6 +96,8 @@ class ParallelConfig(SerializableConfig):
             )
         if self.max_workers < 1:
             raise ConfigurationError("need at least one worker")
+        if self.retries < 0:
+            raise ConfigurationError("retries cannot be negative")
 
 
 @dataclass
@@ -232,6 +244,25 @@ def evaluate_trips(
                 with pool_cls(max_workers=par.max_workers) as pool:
                     outcomes = list(pool.map(_guarded_trip, args))
         outcomes.sort(key=lambda o: o.index)
+
+        # Retry crashed trips before recording them as failures. Retries run
+        # inline in the parent — same seed, fresh state — so every backend
+        # takes the identical path and reports stay pinned equal.
+        if par.retries > 0:
+            for pos, outcome in enumerate(outcomes):
+                if outcome.ok:
+                    continue
+                for _ in range(par.retries):
+                    tel.count("eval.worker_retried")
+                    tel.event(
+                        "eval.worker_retried",
+                        index=outcome.index,
+                        error=outcome.error,
+                    )
+                    outcome = _guarded_trip(args[outcome.index])
+                    if outcome.ok:
+                        break
+                outcomes[pos] = outcome
 
         # Merge: telemetry in trip order, failures counted, survivors fused.
         survivors: list[TripOutcome] = []

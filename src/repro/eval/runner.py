@@ -36,6 +36,7 @@ from ..core.pipeline import (
 )
 from ..datasets.steering_study import calibrated_thresholds
 from ..errors import ConfigurationError
+from ..faults.suite import FaultSuiteConfig, apply_fault_suite
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..roads.profile import RoadProfile
 from ..roads.reference import survey_reference_profile
@@ -82,6 +83,12 @@ class RunnerConfig(SerializableConfig):
     Serializable as one JSON document (nested thresholds/ANN configs
     included) via :meth:`to_dict` / :meth:`from_dict` — the parallel
     runner ships exactly this spec to its worker processes.
+
+    ``faults`` (a :class:`~repro.faults.FaultSuiteConfig`) injects that
+    degraded-sensor scenario into every simulated recording, seeded per
+    trip index; ``stages`` overrides the system's stage list (e.g.
+    :data:`~repro.core.stages.ROBUST_STAGES` to enable sanitization).
+    Both default to ``None`` — clean data through the paper pipeline.
     """
 
     n_trips: int = 2
@@ -98,12 +105,16 @@ class RunnerConfig(SerializableConfig):
     apply_lane_change_correction: bool = True
     velocity_sources: tuple[str, ...] = VELOCITY_SOURCES
     ann: ANNBaselineConfig = field(default_factory=ANNBaselineConfig)
+    faults: FaultSuiteConfig | None = None
+    stages: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.n_trips < 1:
             raise ConfigurationError("need at least one trip")
         if self.grid_spacing <= 0.0 or self.trim_m < 0.0:
             raise ConfigurationError("bad grid configuration")
+        if self.faults is not None:
+            self.faults.build()  # fail fast on an invalid fault scenario
 
 
 @dataclass
@@ -159,7 +170,9 @@ def simulate_recording(
     Deterministic in ``(cfg.seed, index)`` alone — the same trip produces
     the same recording whether built serially, out of order, or inside a
     worker process. This is the seeding contract the parallel runner
-    (:mod:`repro.eval.parallel`) relies on.
+    (:mod:`repro.eval.parallel`) relies on. When ``cfg.faults`` is set, the
+    scenario is applied to the recording, seeded by ``(faults.seed, index)``
+    — equally deterministic.
     """
     trace = simulate_trip(
         profile,
@@ -169,6 +182,8 @@ def simulate_recording(
     )
     phone = Smartphone().with_noise_scale(cfg.noise_scale)
     rec = phone.record(trace, np.random.default_rng(cfg.seed * 65537 + index))
+    if cfg.faults is not None:
+        rec = apply_fault_suite(rec, cfg.faults, index)
     return trace, rec
 
 
@@ -193,12 +208,16 @@ def system_config(
 ) -> GradientSystemConfig:
     """The OPS system config the runner settings translate to."""
     thresholds = cfg.thresholds or calibrated_thresholds()
+    extra = {}
+    if cfg.stages is not None:
+        extra["stages"] = tuple(cfg.stages)
     return GradientSystemConfig(
         ekf=GradientEKFConfig(process=cfg.process),
         detector=LaneChangeDetectorConfig(thresholds=thresholds),
         velocity_sources=velocity_sources or cfg.velocity_sources,
         apply_lane_change_correction=cfg.apply_lane_change_correction,
         fusion_grid_spacing=cfg.grid_spacing,
+        **extra,
     )
 
 

@@ -1,0 +1,36 @@
+"""Fault injection: seeded, composable sensor-failure models.
+
+The estimation pipeline is evaluated on clean simulated drives; this
+package supplies the *dirty* ones — GPS dropouts, NaN/Inf bursts, stuck
+sensors, saturation clipping, timestamp jitter, barometer drift — as
+config-as-data scenarios applied to :class:`~repro.sensors.phone.PhoneRecording`
+objects. The resilience matrix (:mod:`repro.eval.resilience`) sweeps these
+scenarios against the degradation machinery in the core pipeline.
+"""
+
+from .models import (
+    SIGNAL_CHANNELS,
+    BarometerDriftStep,
+    FaultModel,
+    GPSDropout,
+    NonFiniteBurst,
+    SaturationClip,
+    StuckSensor,
+    TimestampJitter,
+)
+from .suite import FAULT_KINDS, FaultSpec, FaultSuiteConfig, apply_fault_suite
+
+__all__ = [
+    "SIGNAL_CHANNELS",
+    "BarometerDriftStep",
+    "FaultModel",
+    "GPSDropout",
+    "NonFiniteBurst",
+    "SaturationClip",
+    "StuckSensor",
+    "TimestampJitter",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSuiteConfig",
+    "apply_fault_suite",
+]

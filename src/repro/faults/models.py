@@ -1,0 +1,305 @@
+"""Composable fault injectors over :class:`~repro.sensors.phone.PhoneRecording`.
+
+Real crowd-sourced smartphone traces are not the clean drives of the paper's
+Charlottesville evaluation: GPS drops out under tree canyons, sensor HALs
+emit NaN/Inf bursts, a wedged driver reports the same sample forever, cheap
+IMUs clip at their full-scale range, timestamps jitter, and barometers step
+when a window opens. Each of those failure modes is one small injector here.
+
+Every injector implements the :class:`FaultModel` protocol —
+``apply(recording, rng) -> PhoneRecording`` — and is *pure*: the input
+recording is never mutated; only the channels a fault touches are rebuilt,
+everything else is shared. Injectors compose by sequential application
+(see :func:`repro.faults.suite.apply_fault_suite`) and are deterministic
+given the generator they are handed, so a fault scenario is exactly
+reproducible from ``(suite config, seed, trip index)``.
+
+Fault windows are expressed in seconds from the start of the recording so
+the same spec applies to trips of different lengths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import FaultInjectionError
+from ..sensors.base import SampledSignal
+from ..sensors.gps import GPSFixes
+from ..sensors.phone import PhoneRecording
+
+__all__ = [
+    "SIGNAL_CHANNELS",
+    "FaultModel",
+    "GPSDropout",
+    "NonFiniteBurst",
+    "StuckSensor",
+    "SaturationClip",
+    "TimestampJitter",
+    "BarometerDriftStep",
+]
+
+#: The per-sample signal channels a channel-targeted fault may name.
+SIGNAL_CHANNELS = (
+    "accel_long",
+    "accel_lat",
+    "gyro",
+    "speedometer",
+    "barometer",
+    "canbus",
+)
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """One injectable failure mode over a phone recording."""
+
+    kind: str
+
+    def apply(
+        self, recording: PhoneRecording, rng: np.random.Generator
+    ) -> PhoneRecording:
+        """Return a new recording with this fault applied (input untouched)."""
+        ...
+
+
+def _check_window(kind: str, start_s: float, duration_s: float) -> None:
+    if start_s < 0.0 or not np.isfinite(start_s):
+        raise FaultInjectionError(f"{kind}: start_s must be finite and >= 0, got {start_s}")
+    if duration_s <= 0.0 or not np.isfinite(duration_s):
+        raise FaultInjectionError(
+            f"{kind}: duration_s must be finite and > 0, got {duration_s}"
+        )
+
+
+def _check_channel(kind: str, channel: str) -> None:
+    if channel not in SIGNAL_CHANNELS:
+        raise FaultInjectionError(
+            f"{kind}: unknown channel {channel!r}; valid channels are "
+            f"{list(SIGNAL_CHANNELS)}"
+        )
+
+
+def _window_mask(t: np.ndarray, start_s: float, duration_s: float) -> np.ndarray:
+    """Samples inside ``[t0 + start, t0 + start + duration)``."""
+    t0 = float(t[0])
+    return (t >= t0 + start_s) & (t < t0 + start_s + duration_s)
+
+
+def _replace_channel(
+    recording: PhoneRecording, channel: str, signal: SampledSignal
+) -> PhoneRecording:
+    return dataclasses.replace(recording, **{channel: signal})
+
+
+def _rebuild(
+    signal: SampledSignal,
+    t: np.ndarray | None = None,
+    values: np.ndarray | None = None,
+    valid: np.ndarray | None = None,
+) -> SampledSignal:
+    return SampledSignal(
+        t=signal.t if t is None else t,
+        values=signal.values if values is None else values,
+        valid=signal.valid if valid is None else valid,
+        name=signal.name,
+        unit=signal.unit,
+        meta=dict(signal.meta),
+    )
+
+
+@dataclass(frozen=True)
+class GPSDropout:
+    """Total GPS outage for a time window: no fixes, no Doppler speed."""
+
+    start_s: float
+    duration_s: float
+    kind: str = "gps_dropout"
+
+    def __post_init__(self) -> None:
+        _check_window(self.kind, self.start_s, self.duration_s)
+
+    def apply(
+        self, recording: PhoneRecording, rng: np.random.Generator
+    ) -> PhoneRecording:
+        gps = recording.gps
+        mask = _window_mask(gps.t, self.start_s, self.duration_s)
+        if not np.any(mask):
+            return recording
+        gone = np.where(mask, np.nan, 1.0)
+        return dataclasses.replace(
+            recording,
+            gps=GPSFixes(
+                t=gps.t.copy(),
+                x=gps.x * gone,
+                y=gps.y * gone,
+                speed=gps.speed * gone,
+                available=gps.available & ~mask,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class NonFiniteBurst:
+    """A burst of NaN (or ±Inf) samples on one signal channel — the classic
+    sensor-HAL hiccup that poisons any filter fed raw values."""
+
+    channel: str
+    start_s: float
+    duration_s: float
+    fill: float = float("nan")
+    kind: str = "nonfinite_burst"
+
+    def __post_init__(self) -> None:
+        _check_channel(self.kind, self.channel)
+        _check_window(self.kind, self.start_s, self.duration_s)
+        if np.isfinite(self.fill):
+            raise FaultInjectionError(
+                f"{self.kind}: fill must be NaN or +/-Inf, got {self.fill}"
+            )
+
+    def apply(
+        self, recording: PhoneRecording, rng: np.random.Generator
+    ) -> PhoneRecording:
+        signal = getattr(recording, self.channel)
+        mask = _window_mask(signal.t, self.start_s, self.duration_s)
+        if not np.any(mask):
+            return recording
+        values = signal.values.copy()
+        values[mask] = self.fill
+        return _replace_channel(recording, self.channel, _rebuild(signal, values=values))
+
+
+@dataclass(frozen=True)
+class StuckSensor:
+    """A frozen (stuck-at) sensor: the channel repeats its last pre-fault
+    sample for the whole window. Values stay finite and plausible, which is
+    what makes stuck sensors nastier than NaN bursts."""
+
+    channel: str
+    start_s: float
+    duration_s: float
+    kind: str = "stuck"
+
+    def __post_init__(self) -> None:
+        _check_channel(self.kind, self.channel)
+        _check_window(self.kind, self.start_s, self.duration_s)
+
+    def apply(
+        self, recording: PhoneRecording, rng: np.random.Generator
+    ) -> PhoneRecording:
+        signal = getattr(recording, self.channel)
+        mask = _window_mask(signal.t, self.start_s, self.duration_s)
+        if not np.any(mask):
+            return recording
+        first = int(np.flatnonzero(mask)[0])
+        stuck_at = signal.values[max(first - 1, 0)]
+        values = signal.values.copy()
+        values[mask] = stuck_at
+        return _replace_channel(recording, self.channel, _rebuild(signal, values=values))
+
+
+@dataclass(frozen=True)
+class SaturationClip:
+    """Full-scale-range clipping: every sample clipped to ``±limit``.
+
+    Models a cheap IMU (or a mis-set range register) saturating on braking
+    spikes and speed bumps; the clipped samples remain finite, so only the
+    estimator's accuracy — never its health — can reveal this fault.
+    """
+
+    channel: str
+    limit: float
+    kind: str = "clip"
+
+    def __post_init__(self) -> None:
+        _check_channel(self.kind, self.channel)
+        if self.limit <= 0.0 or not np.isfinite(self.limit):
+            raise FaultInjectionError(
+                f"{self.kind}: limit must be finite and > 0, got {self.limit}"
+            )
+
+    def apply(
+        self, recording: PhoneRecording, rng: np.random.Generator
+    ) -> PhoneRecording:
+        signal = getattr(recording, self.channel)
+        clipped = np.clip(signal.values, -self.limit, self.limit)
+        if np.array_equal(clipped, signal.values, equal_nan=True):
+            return recording
+        return _replace_channel(recording, self.channel, _rebuild(signal, values=clipped))
+
+
+@dataclass(frozen=True)
+class TimestampJitter:
+    """Bounded uniform timestamp jitter on every sensor timebase.
+
+    ``severity`` is the jitter amplitude as a fraction of each channel's
+    median sample period; it must stay below 1 so perturbed timebases remain
+    strictly increasing (each timestamp moves by at most ``±severity·dt/2``).
+    This is the only stochastic injector — it consumes the generator.
+    """
+
+    severity: float
+    kind: str = "jitter"
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.severity < 1.0):
+            raise FaultInjectionError(
+                f"{self.kind}: severity must be in (0, 1) to keep timebases "
+                f"strictly increasing, got {self.severity}"
+            )
+
+    def _jitter(self, t: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if len(t) < 2:
+            return t
+        dt = float(np.median(np.diff(t)))
+        return t + rng.uniform(-0.5, 0.5, len(t)) * dt * self.severity
+
+    def apply(
+        self, recording: PhoneRecording, rng: np.random.Generator
+    ) -> PhoneRecording:
+        changes: dict = {}
+        for channel in SIGNAL_CHANNELS:
+            signal = getattr(recording, channel)
+            changes[channel] = _rebuild(signal, t=self._jitter(signal.t, rng))
+        gps = recording.gps
+        changes["gps"] = GPSFixes(
+            t=self._jitter(gps.t, rng),
+            x=gps.x.copy(),
+            y=gps.y.copy(),
+            speed=gps.speed.copy(),
+            available=gps.available.copy(),
+        )
+        return dataclasses.replace(recording, **changes)
+
+
+@dataclass(frozen=True)
+class BarometerDriftStep:
+    """A pressure-altitude step at ``start_s`` (weather front, window, HVAC):
+    the channel reads ``step`` higher from that moment on."""
+
+    start_s: float
+    step: float
+    kind: str = "baro_drift"
+
+    def __post_init__(self) -> None:
+        _check_window(self.kind, self.start_s, 1.0)
+        if not np.isfinite(self.step) or self.step == 0.0:
+            raise FaultInjectionError(
+                f"{self.kind}: step must be finite and non-zero, got {self.step}"
+            )
+
+    def apply(
+        self, recording: PhoneRecording, rng: np.random.Generator
+    ) -> PhoneRecording:
+        signal = recording.barometer
+        mask = signal.t >= float(signal.t[0]) + self.start_s
+        if not np.any(mask):
+            return recording
+        values = signal.values + np.where(mask, self.step, 0.0)
+        return _replace_channel(
+            recording, "barometer", _rebuild(signal, values=values)
+        )

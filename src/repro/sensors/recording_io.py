@@ -34,6 +34,37 @@ _SIGNAL_CHANNELS = (
     "canbus",
 )
 
+_SIGNAL_KEYS = ("t", "values", "valid", "name", "unit")
+
+_RECORDING_KEYS = (
+    "t",
+    "dt",
+    "mounting_yaw_true",
+    "mounting_yaw_estimate",
+    "has_truth",
+    "gps.t",
+    "gps.x",
+    "gps.y",
+    "gps.speed",
+    "gps.available",
+)
+
+
+def _require_keys(path, data, keys) -> None:
+    """Fail with the missing field names — not a bare ``KeyError`` — when an
+    archive was truncated, renamed, or written by something else."""
+    missing = sorted(k for k in keys if k not in data)
+    if missing:
+        raise SensorError(f"{path} is not a valid archive: missing field(s) {missing}")
+
+
+def _require_finite_timebase(path, key, t: np.ndarray) -> None:
+    if not np.all(np.isfinite(np.asarray(t, dtype=float))):
+        raise SensorError(
+            f"{path} field {key!r} contains non-finite timestamps; the "
+            f"archive is corrupt"
+        )
+
 
 def _pack_signal(prefix: str, signal: SampledSignal, out: dict) -> None:
     out[f"{prefix}.t"] = signal.t
@@ -43,14 +74,18 @@ def _pack_signal(prefix: str, signal: SampledSignal, out: dict) -> None:
     out[f"{prefix}.unit"] = np.array(signal.unit)
 
 
-def _unpack_signal(prefix: str, data) -> SampledSignal:
-    return SampledSignal(
-        t=data[f"{prefix}.t"],
-        values=data[f"{prefix}.values"],
-        valid=data[f"{prefix}.valid"],
-        name=str(data[f"{prefix}.name"]),
-        unit=str(data[f"{prefix}.unit"]),
-    )
+def _unpack_signal(prefix: str, data, path="archive") -> SampledSignal:
+    try:
+        return SampledSignal(
+            t=data[f"{prefix}.t"],
+            values=data[f"{prefix}.values"],
+            valid=data[f"{prefix}.valid"],
+            name=str(data[f"{prefix}.name"]),
+            unit=str(data[f"{prefix}.unit"]),
+        )
+    except SensorError as exc:
+        # SampledSignal's own shape checks don't know the channel name.
+        raise SensorError(f"{path} channel {prefix!r}: {exc}") from exc
 
 
 def save_recording(path, recording: PhoneRecording) -> None:
@@ -75,22 +110,44 @@ def save_recording(path, recording: PhoneRecording) -> None:
 
 
 def load_recording(path) -> PhoneRecording:
-    """Read a recording written by :func:`save_recording`."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    """Read a recording written by :func:`save_recording`.
+
+    The archive is validated before any object is built: missing fields,
+    length-mismatched signal arrays, and non-finite timebases all raise
+    :class:`~repro.errors.SensorError` naming the offending field instead
+    of surfacing as a ``KeyError`` (or worse, a poisoned recording).
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        required = list(_RECORDING_KEYS) + [
+            f"{channel}.{key}"
+            for channel in _SIGNAL_CHANNELS
+            for key in _SIGNAL_KEYS
+        ]
+        _require_keys(path, data, required)
+        _require_finite_timebase(path, "t", data["t"])
+        _require_finite_timebase(path, "gps.t", data["gps.t"])
+        for channel in _SIGNAL_CHANNELS:
+            _require_finite_timebase(path, f"{channel}.t", data[f"{channel}.t"])
         kwargs = {
-            channel: _unpack_signal(channel, data) for channel in _SIGNAL_CHANNELS
+            channel: _unpack_signal(channel, data, path)
+            for channel in _SIGNAL_CHANNELS
         }
-        truth = _unpack_trace("truth", data) if bool(data["has_truth"]) else None
-        return PhoneRecording(
-            t=data["t"],
-            dt=float(data["dt"]),
-            gps=GPSFixes(
+        truth = _unpack_trace("truth", data, path) if bool(data["has_truth"]) else None
+        try:
+            gps = GPSFixes(
                 t=data["gps.t"],
                 x=data["gps.x"],
                 y=data["gps.y"],
                 speed=data["gps.speed"],
                 available=data["gps.available"],
-            ),
+            )
+        except SensorError as exc:
+            raise SensorError(f"{path} channel 'gps': {exc}") from exc
+        return PhoneRecording(
+            t=data["t"],
+            dt=float(data["dt"]),
+            gps=gps,
             mounting_yaw_true=float(data["mounting_yaw_true"]),
             mounting_yaw_estimate=float(data["mounting_yaw_estimate"]),
             truth=truth,
@@ -108,7 +165,13 @@ def _pack_trace(prefix: str, trace: TruthTrace, out: dict) -> None:
     out[f"{prefix}.driver_name"] = np.array(trace.driver_name)
 
 
-def _unpack_trace(prefix: str, data) -> TruthTrace:
+def _unpack_trace(prefix: str, data, path="archive") -> TruthTrace:
+    required = [f"{prefix}.{name}" for name in _ARRAY_FIELDS] + [
+        f"{prefix}.{name}"
+        for name in ("lane", "lane_change", "gps_available", "dt", "driver_name")
+    ]
+    _require_keys(path, data, required)
+    _require_finite_timebase(path, f"{prefix}.t", data[f"{prefix}.t"])
     kwargs = {name: data[f"{prefix}.{name}"] for name in _ARRAY_FIELDS}
     return TruthTrace(
         **kwargs,
@@ -128,8 +191,14 @@ def save_trace(path, trace: TruthTrace) -> None:
 
 
 def load_trace(path) -> TruthTrace:
-    """Read a trace written by :func:`save_trace`."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    """Read a trace written by :func:`save_trace`.
+
+    Validates the archive the same way :func:`load_recording` does: missing
+    fields and non-finite timebases raise :class:`~repro.errors.SensorError`
+    naming the offending field.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
         if "trace.t" not in data:
             raise SensorError(f"{path!r} does not contain a truth trace")
-        return _unpack_trace("trace", data)
+        return _unpack_trace("trace", data, path)

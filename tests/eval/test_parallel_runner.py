@@ -159,6 +159,65 @@ class TestFaultTolerance:
             )
 
 
+class _FlakyOnce:
+    """Crashes the first attempt per trip index, succeeds after — the
+    environmental-failure shape retries exist for."""
+
+    def __init__(self, index: int = 1) -> None:
+        self.index = index
+        self.seen: set[int] = set()
+
+    def __call__(self, index: int) -> None:
+        if index == self.index and index not in self.seen:
+            self.seen.add(index)
+            raise RuntimeError("transient failure")
+
+
+class TestRetries:
+    def test_flaky_trip_recovered_by_retry(self, profile, serial_run):
+        serial_report, _ = serial_run
+        tel = Telemetry("retry")
+        report = evaluate_trips(
+            profile,
+            CFG,
+            ParallelConfig(backend="serial"),
+            telemetry=tel,
+            fault_hook=_FlakyOnce(index=1),
+        )
+        assert report.n_failed == 0
+        assert tel.metrics.counter("eval.worker_retried").value == 1
+        assert tel.metrics.counter("eval.worker_failed").value == 0
+        # The retried trip is deterministic, so the recovered report is the
+        # clean run's report.
+        assert report.summary() == serial_report.summary()
+        assert np.array_equal(report.fused_theta, serial_report.fused_theta)
+
+    def test_deterministic_crash_still_fails_after_retry(self, profile):
+        tel = Telemetry("retry-fails")
+        report = evaluate_trips(
+            profile,
+            CFG,
+            ParallelConfig(backend="thread"),
+            telemetry=tel,
+            fault_hook=_crash_on_one,
+        )
+        assert report.n_failed == 1
+        assert tel.metrics.counter("eval.worker_retried").value == 1
+        assert tel.metrics.counter("eval.worker_failed").value == 1
+
+    def test_retries_zero_disables_recovery(self, profile):
+        tel = Telemetry("no-retry")
+        report = evaluate_trips(
+            profile,
+            CFG,
+            ParallelConfig(backend="serial", retries=0),
+            telemetry=tel,
+            fault_hook=_FlakyOnce(index=1),
+        )
+        assert report.n_failed == 1
+        assert tel.metrics.counter("eval.worker_retried").value == 0
+
+
 class TestParallelConfig:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError, match="valid options"):
@@ -168,10 +227,15 @@ class TestParallelConfig:
         with pytest.raises(ConfigurationError):
             ParallelConfig(max_workers=0)
 
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError, match="retries"):
+            ParallelConfig(retries=-1)
+
     def test_defaults(self):
         par = ParallelConfig()
         assert par.backend == "thread"
         assert par.max_workers == 4
+        assert par.retries == 1
 
 
 class TestConfigTransport:

@@ -1,0 +1,32 @@
+"""Fault/resilience fixtures: one clean red-route recording to corrupt.
+
+The degradation tests pin clean-input bit-identity on the paper's red
+route, so the expensive pieces — the route, one simulated recording, the
+calibrated detector thresholds — are session-scoped. Tests must not
+mutate them; every injector is pure, so sharing is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.charlottesville import red_route
+from repro.datasets.steering_study import calibrated_thresholds
+from repro.eval.runner import RunnerConfig, simulate_recording
+
+
+@pytest.fixture(scope="session")
+def red_profile():
+    return red_route()
+
+
+@pytest.fixture(scope="session")
+def red_recording(red_profile):
+    """One clean red-route trip, recorded by a default phone."""
+    _, rec = simulate_recording(red_profile, RunnerConfig(seed=3), 0)
+    return rec
+
+
+@pytest.fixture(scope="session")
+def red_thresholds():
+    return calibrated_thresholds()

@@ -1,0 +1,224 @@
+"""Fault injector contracts: purity, determinism, validation, windows."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FAULT_KINDS,
+    BarometerDriftStep,
+    FaultModel,
+    FaultSpec,
+    FaultSuiteConfig,
+    GPSDropout,
+    NonFiniteBurst,
+    SaturationClip,
+    StuckSensor,
+    TimestampJitter,
+    apply_fault_suite,
+)
+
+
+def snapshot(recording):
+    """Flattened copies of every array the faults may touch."""
+    arrays = {}
+    for channel in ("accel_long", "accel_lat", "gyro", "speedometer", "barometer", "canbus"):
+        sig = getattr(recording, channel)
+        arrays[channel] = (sig.t.copy(), sig.values.copy(), sig.valid.copy())
+    gps = recording.gps
+    arrays["gps"] = (gps.t.copy(), gps.x.copy(), gps.y.copy(), gps.speed.copy(), gps.available.copy())
+    return arrays
+
+
+def assert_unchanged(recording, before):
+    after = snapshot(recording)
+    for channel, arrays in before.items():
+        for a, b in zip(arrays, after[channel]):
+            np.testing.assert_array_equal(a, b)
+
+
+ALL_FAULTS = [
+    GPSDropout(start_s=5.0, duration_s=2.0),
+    NonFiniteBurst(channel="accel_long", start_s=5.0, duration_s=1.0),
+    NonFiniteBurst(channel="speedometer", start_s=5.0, duration_s=1.0, fill=float("inf")),
+    StuckSensor(channel="gyro", start_s=5.0, duration_s=2.0),
+    SaturationClip(channel="accel_long", limit=0.5),
+    TimestampJitter(severity=0.4),
+    BarometerDriftStep(start_s=5.0, step=8.0),
+]
+
+
+class TestInjectorContracts:
+    @pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.kind)
+    def test_satisfies_protocol(self, fault):
+        assert isinstance(fault, FaultModel)
+
+    @pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.kind)
+    def test_pure_input_never_mutated(self, fault, hill_recording):
+        before = snapshot(hill_recording)
+        fault.apply(hill_recording, np.random.default_rng(0))
+        assert_unchanged(hill_recording, before)
+
+    @pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.kind)
+    def test_deterministic_given_rng(self, fault, hill_recording):
+        a = fault.apply(hill_recording, np.random.default_rng(42))
+        b = fault.apply(hill_recording, np.random.default_rng(42))
+        for channel, arrays in snapshot(a).items():
+            for x, y in zip(arrays, snapshot(b)[channel]):
+                np.testing.assert_array_equal(x, y)
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            GPSDropout(start_s=1e6, duration_s=1.0),
+            NonFiniteBurst(channel="accel_long", start_s=1e6, duration_s=1.0),
+            StuckSensor(channel="gyro", start_s=1e6, duration_s=1.0),
+            BarometerDriftStep(start_s=1e6, step=5.0),
+        ],
+        ids=lambda f: f.kind,
+    )
+    def test_window_past_end_is_identity(self, fault, hill_recording):
+        assert fault.apply(hill_recording, np.random.default_rng(0)) is hill_recording
+
+    def test_clip_above_range_is_identity(self, hill_recording):
+        fault = SaturationClip(channel="accel_long", limit=1e6)
+        assert fault.apply(hill_recording, np.random.default_rng(0)) is hill_recording
+
+
+class TestInjectorBehaviour:
+    def test_gps_dropout_kills_fixes_in_window(self, hill_recording):
+        out = GPSDropout(start_s=5.0, duration_s=3.0).apply(
+            hill_recording, np.random.default_rng(0)
+        )
+        t0 = float(out.gps.t[0])
+        mask = (out.gps.t >= t0 + 5.0) & (out.gps.t < t0 + 8.0)
+        assert mask.any()
+        assert not out.gps.available[mask].any()
+        assert np.isnan(out.gps.x[mask]).all()
+        # Fixes outside the window are untouched.
+        np.testing.assert_array_equal(
+            out.gps.available[~mask], hill_recording.gps.available[~mask]
+        )
+
+    def test_nan_burst_hits_only_the_window(self, hill_recording):
+        out = NonFiniteBurst(channel="accel_long", start_s=5.0, duration_s=1.0).apply(
+            hill_recording, np.random.default_rng(0)
+        )
+        sig = out.accel_long
+        t0 = float(sig.t[0])
+        mask = (sig.t >= t0 + 5.0) & (sig.t < t0 + 6.0)
+        assert np.isnan(sig.values[mask]).all()
+        assert np.isfinite(sig.values[~mask]).all()
+
+    def test_stuck_sensor_freezes_at_pre_fault_sample(self, hill_recording):
+        out = StuckSensor(channel="gyro", start_s=5.0, duration_s=2.0).apply(
+            hill_recording, np.random.default_rng(0)
+        )
+        sig = out.gyro
+        t0 = float(sig.t[0])
+        mask = (sig.t >= t0 + 5.0) & (sig.t < t0 + 7.0)
+        first = int(np.flatnonzero(mask)[0])
+        assert (sig.values[mask] == sig.values[first - 1]).all()
+
+    def test_clip_bounds_values(self, hill_recording):
+        out = SaturationClip(channel="accel_long", limit=0.3).apply(
+            hill_recording, np.random.default_rng(0)
+        )
+        assert np.max(np.abs(out.accel_long.values)) <= 0.3
+
+    def test_jitter_keeps_timebases_strictly_increasing(self, hill_recording):
+        out = TimestampJitter(severity=0.9).apply(
+            hill_recording, np.random.default_rng(7)
+        )
+        for channel in ("accel_long", "gyro", "barometer"):
+            t = getattr(out, channel).t
+            assert np.all(np.diff(t) > 0.0)
+            assert not np.array_equal(t, getattr(hill_recording, channel).t)
+        assert np.all(np.diff(out.gps.t) > 0.0)
+
+    def test_baro_step_is_persistent(self, hill_recording):
+        out = BarometerDriftStep(start_s=5.0, step=8.0).apply(
+            hill_recording, np.random.default_rng(0)
+        )
+        sig = out.barometer
+        mask = sig.t >= float(sig.t[0]) + 5.0
+        np.testing.assert_allclose(
+            sig.values[mask] - hill_recording.barometer.values[mask], 8.0
+        )
+        np.testing.assert_array_equal(
+            sig.values[~mask], hill_recording.barometer.values[~mask]
+        )
+
+
+class TestValidation:
+    def test_unknown_channel_names_valid_ones(self):
+        with pytest.raises(FaultInjectionError, match="accel_long"):
+            NonFiniteBurst(channel="thermometer", start_s=0.0, duration_s=1.0)
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(FaultInjectionError, match="start_s"):
+            GPSDropout(start_s=-1.0, duration_s=1.0)
+        with pytest.raises(FaultInjectionError, match="duration_s"):
+            GPSDropout(start_s=0.0, duration_s=0.0)
+
+    def test_finite_fill_rejected(self):
+        with pytest.raises(FaultInjectionError, match="fill"):
+            NonFiniteBurst(channel="gyro", start_s=0.0, duration_s=1.0, fill=3.0)
+
+    def test_jitter_severity_must_stay_below_one(self):
+        with pytest.raises(FaultInjectionError, match="severity"):
+            TimestampJitter(severity=1.0)
+
+    def test_unknown_kind_names_valid_kinds(self):
+        with pytest.raises(FaultInjectionError, match="gps_dropout"):
+            FaultSpec(kind="coffee_spill")
+
+    def test_suite_build_fails_fast_on_bad_spec(self):
+        suite = FaultSuiteConfig(
+            faults=(FaultSpec(kind="jitter", severity=2.0),)
+        )
+        with pytest.raises(FaultInjectionError, match="severity"):
+            suite.build()
+
+
+class TestSuite:
+    def test_suite_round_trips_through_json(self):
+        suite = FaultSuiteConfig(
+            faults=(
+                FaultSpec(kind="gps_dropout", start_s=10.0, duration_s=3.0),
+                FaultSpec(kind="nan_burst", channel="gyro", start_s=20.0),
+            ),
+            seed=5,
+        )
+        clone = FaultSuiteConfig.from_dict(json.loads(json.dumps(suite.to_dict())))
+        assert clone == suite
+
+    def test_application_deterministic_per_trip(self, hill_recording):
+        suite = FaultSuiteConfig(
+            faults=(FaultSpec(kind="jitter", severity=0.5),), seed=9
+        )
+        a = apply_fault_suite(hill_recording, suite, trip_index=3)
+        b = apply_fault_suite(hill_recording, suite, trip_index=3)
+        other = apply_fault_suite(hill_recording, suite, trip_index=4)
+        np.testing.assert_array_equal(a.gyro.t, b.gyro.t)
+        assert not np.array_equal(a.gyro.t, other.gyro.t)
+
+    def test_faults_compose_in_order(self, hill_recording):
+        suite = FaultSuiteConfig(
+            faults=(
+                FaultSpec(kind="nan_burst", channel="accel_long", start_s=5.0),
+                FaultSpec(kind="gps_dropout", start_s=10.0, duration_s=2.0),
+            )
+        )
+        out = apply_fault_suite(hill_recording, suite)
+        assert np.isnan(out.accel_long.values).any()
+        assert not out.gps.available.all()
+
+    def test_every_registered_kind_builds(self):
+        for kind in FAULT_KINDS:
+            severity = 0.5 if kind == "jitter" else 1.0
+            model = FaultSpec(kind=kind, severity=severity).build()
+            assert isinstance(model, FaultModel)

@@ -1,0 +1,82 @@
+"""Resilience matrix evaluator: schema, completeness, severity mapping."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.parallel import ParallelConfig
+from repro.eval.resilience import (
+    ResilienceConfig,
+    fault_suite_for,
+    run_resilience_matrix,
+)
+from repro.eval.runner import RunnerConfig
+from repro.faults.suite import FAULT_KINDS
+
+
+class TestConfig:
+    def test_defaults_cover_the_whole_taxonomy(self):
+        cfg = ResilienceConfig()
+        assert set(cfg.fault_kinds) == set(FAULT_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="gps_dropout"):
+            ResilienceConfig(fault_kinds=("gps_dropout", "meteor_strike"))
+
+    def test_empty_or_bad_severities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(severities=())
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(severities=(1.0, -2.0))
+
+    def test_round_trips_through_json(self):
+        cfg = ResilienceConfig(severities=(0.5, 1.0), channel="gyro")
+        clone = ResilienceConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert clone == cfg
+
+
+class TestSeverityMapping:
+    def test_window_kinds_map_severity_to_duration(self):
+        suite = fault_suite_for("gps_dropout", 3.0, start_s=40.0)
+        (spec,) = suite.faults
+        assert spec.duration_s == 3.0
+        assert spec.start_s == 40.0
+
+    def test_clip_severity_inverts_into_limit(self):
+        mild = fault_suite_for("clip", 0.5).faults[0]
+        harsh = fault_suite_for("clip", 4.0).faults[0]
+        assert mild.severity > harsh.severity  # larger severity -> tighter clip
+
+    def test_jitter_severity_stays_valid(self):
+        # The raw severity axis goes beyond the jitter injector's (0, 1)
+        # domain; the mapping must compress it, and the spec must build.
+        spec = fault_suite_for("jitter", 4.0).faults[0]
+        assert 0.0 < spec.severity < 1.0
+        spec.build()
+
+    def test_every_kind_builds_at_every_default_severity(self):
+        for kind in FAULT_KINDS:
+            for severity in ResilienceConfig().severities:
+                fault_suite_for(kind, severity).build()
+
+
+class TestMatrix:
+    def test_tiny_matrix_completes_and_serializes(self, red_profile):
+        result = run_resilience_matrix(
+            red_profile,
+            base_cfg=RunnerConfig(n_trips=1, seed=3),
+            config=ResilienceConfig(
+                fault_kinds=("gps_dropout", "nan_burst"), severities=(1.0,)
+            ),
+            parallel=ParallelConfig(backend="serial"),
+        )
+
+        assert result["schema"] == "repro.bench_faults/v1"
+        assert result["clean_rmse_deg"] is not None
+        assert len(result["scenarios"]) == 2
+        for scenario in result["scenarios"]:
+            assert "ok" in scenario  # recorded, never raised
+            assert scenario["ok"]
+            assert scenario["rmse_deg"] is not None
+        json.dumps(result)  # strict JSON, ready for the bench artifact

@@ -1,0 +1,144 @@
+"""Sanitize stage: gap repair, outage masking, timebase rejection."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.sanitize import SanitizeConfig, sanitize_recording, sanitize_signal
+from repro.errors import ConfigurationError, DegradedInputError
+from repro.faults import GPSDropout, NonFiniteBurst
+from repro.obs import Telemetry
+from repro.sensors.base import SampledSignal
+
+
+def signal_with_gap(n=500, dt=0.02, gap=slice(100, 120)):
+    t = np.arange(n) * dt
+    values = np.sin(0.5 * t)
+    values[gap] = np.nan
+    return SampledSignal(t=t, values=values, name="test-signal")
+
+
+class TestSanitizeSignal:
+    def test_clean_signal_is_identity_object(self):
+        sig = SampledSignal(t=np.arange(100) * 0.02, values=np.ones(100), name="x")
+        out, n_interp, n_masked = sanitize_signal(sig, max_gap_s=2.0)
+        assert out is sig
+        assert (n_interp, n_masked) == (0, 0)
+
+    def test_short_gap_interpolated(self):
+        sig = signal_with_gap(gap=slice(100, 120))  # 0.4 s gap
+        out, n_interp, n_masked = sanitize_signal(sig, max_gap_s=2.0)
+        assert (n_interp, n_masked) == (1, 0)
+        assert np.isfinite(out.values).all()
+        assert out.valid.all()
+        # Linear bridge stays close to the underlying smooth truth.
+        truth = np.sin(0.5 * out.t[100:120])
+        np.testing.assert_allclose(out.values[100:120], truth, atol=0.01)
+
+    def test_long_gap_masked_not_invented(self):
+        sig = signal_with_gap(gap=slice(100, 260))  # 3.2 s > max_gap_s
+        out, n_interp, n_masked = sanitize_signal(sig, max_gap_s=2.0, policy="mask")
+        assert (n_interp, n_masked) == (0, 1)
+        assert np.isnan(out.values[100:260]).all()
+        assert not out.valid[100:260].any()
+        assert out.valid[:100].all() and out.valid[260:].all()
+
+    def test_zero_policy_fills_drive_channels(self):
+        sig = signal_with_gap(gap=slice(100, 260))
+        out, _, n_masked = sanitize_signal(sig, max_gap_s=2.0, policy="zero")
+        assert n_masked == 1
+        assert (out.values[100:260] == 0.0).all()
+        assert not out.valid[100:260].any()
+
+    def test_edge_touching_gap_is_an_outage(self):
+        sig = signal_with_gap(gap=slice(0, 10))  # short, but no left neighbour
+        out, n_interp, n_masked = sanitize_signal(sig, max_gap_s=2.0)
+        assert (n_interp, n_masked) == (0, 1)
+
+    def test_mixed_gaps_counted_separately(self):
+        t = np.arange(1000) * 0.02
+        values = np.cos(t)
+        values[100:110] = np.nan  # short -> interpolated
+        values[500:700] = np.nan  # 4 s -> masked
+        sig = SampledSignal(t=t, values=values, name="mixed")
+        out, n_interp, n_masked = sanitize_signal(sig, max_gap_s=2.0)
+        assert (n_interp, n_masked) == (1, 1)
+        assert np.isfinite(out.values[100:110]).all()
+        assert np.isnan(out.values[500:700]).all()
+
+
+class TestSanitizeRecording:
+    def test_clean_recording_is_identity_object(self, hill_recording):
+        assert sanitize_recording(hill_recording) is hill_recording
+
+    def test_counters_and_repair(self, hill_recording):
+        rec = NonFiniteBurst(
+            channel="accel_long", start_s=5.0, duration_s=0.5
+        ).apply(hill_recording, np.random.default_rng(0))
+        tel = Telemetry("sanitize-test")
+        out = sanitize_recording(rec, telemetry=tel)
+        assert out is not rec
+        assert np.isfinite(out.accel_long.values).all()
+        assert tel.metrics.counter("pipeline.gap_interpolated").value == 1
+
+    def test_long_outage_counts_masked(self, hill_recording):
+        rec = NonFiniteBurst(
+            channel="speedometer", start_s=5.0, duration_s=10.0
+        ).apply(hill_recording, np.random.default_rng(0))
+        tel = Telemetry("sanitize-test")
+        out = sanitize_recording(rec, telemetry=tel)
+        assert tel.metrics.counter("pipeline.gap_masked").value == 1
+        # Measurement channel stays NaN/invalid -> EKF goes predict-only.
+        assert np.isnan(out.speedometer.values).any()
+        assert not out.speedometer.valid.all()
+
+    def test_gps_dropout_passes_through_as_ordinary_outage(self, hill_recording):
+        rec = GPSDropout(start_s=5.0, duration_s=3.0).apply(
+            hill_recording, np.random.default_rng(0)
+        )
+        # The dropout already cleared `available`; nothing is corrupt, so
+        # sanitize has nothing to do and keeps the identity guarantee.
+        assert sanitize_recording(rec) is rec
+
+    def test_corrupt_gps_fix_loses_available_flag(self, hill_recording):
+        gps = hill_recording.gps
+        idx = int(np.flatnonzero(gps.available)[10])
+        x = gps.x.copy()
+        x[idx] = np.nan  # non-finite fix still marked available
+        rec = dataclasses.replace(
+            hill_recording,
+            gps=dataclasses.replace(gps, x=x),
+        )
+        tel = Telemetry("sanitize-gps")
+        out = sanitize_recording(rec, telemetry=tel)
+        assert not out.gps.available[idx]
+        assert tel.metrics.counter("pipeline.gps_fixes_masked").value == 1
+
+    def test_nonfinite_timebase_rejected(self, hill_recording):
+        sig = hill_recording.gyro
+        t = sig.t.copy()
+        t[5] = np.nan
+        rec = dataclasses.replace(
+            hill_recording,
+            gyro=SampledSignal(t=t, values=sig.values, name=sig.name, unit=sig.unit),
+        )
+        with pytest.raises(DegradedInputError, match="gyro"):
+            sanitize_recording(rec)
+
+    def test_non_increasing_timebase_rejected(self, hill_recording):
+        sig = hill_recording.barometer
+        t = sig.t.copy()
+        t[10] = t[9]  # repeated timestamp
+        rec = dataclasses.replace(
+            hill_recording,
+            barometer=SampledSignal(t=t, values=sig.values, name=sig.name, unit=sig.unit),
+        )
+        with pytest.raises(DegradedInputError, match="barometer"):
+            sanitize_recording(rec)
+
+    def test_bad_config_is_a_config_error(self):
+        with pytest.raises(ConfigurationError):
+            SanitizeConfig(max_gap_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            SanitizeConfig(max_gap_s=float("nan"))

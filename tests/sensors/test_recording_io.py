@@ -88,3 +88,77 @@ class TestTraceRoundTrip:
         save_recording(path, hill_recording)
         with pytest.raises(SensorError):
             load_trace(path)
+
+
+def _rewrite(src, dst, drop=(), replace=None):
+    """Copy an archive, dropping or overwriting fields — a corrupt writer."""
+    with np.load(src, allow_pickle=False) as data:
+        out = {k: data[k] for k in data.files if k not in drop}
+    out.update(replace or {})
+    np.savez_compressed(dst, **out)
+    return dst
+
+
+class TestArchiveValidation:
+    """Corrupt archives must fail loudly, naming the offending field."""
+
+    @pytest.fixture()
+    def saved(self, hill_recording, tmp_path):
+        path = tmp_path / "trip.npz"
+        save_recording(path, hill_recording)
+        return path
+
+    def test_missing_signal_field_named(self, saved, tmp_path):
+        bad = _rewrite(saved, tmp_path / "bad.npz", drop=("gyro.values",))
+        with pytest.raises(SensorError, match="gyro.values"):
+            load_recording(bad)
+
+    def test_missing_gps_field_named(self, saved, tmp_path):
+        bad = _rewrite(saved, tmp_path / "bad.npz", drop=("gps.speed",))
+        with pytest.raises(SensorError, match="gps.speed"):
+            load_recording(bad)
+
+    def test_multiple_missing_fields_all_named(self, saved, tmp_path):
+        bad = _rewrite(saved, tmp_path / "bad.npz", drop=("dt", "accel_lat.t"))
+        with pytest.raises(SensorError, match="accel_lat.t.*dt|dt.*accel_lat.t"):
+            load_recording(bad)
+
+    def test_nonfinite_recording_timebase_rejected(self, saved, tmp_path):
+        with np.load(saved) as data:
+            t = data["t"].copy()
+        t[3] = np.nan
+        bad = _rewrite(saved, tmp_path / "bad.npz", replace={"t": t})
+        with pytest.raises(SensorError, match="non-finite"):
+            load_recording(bad)
+
+    def test_nonfinite_channel_timebase_named(self, saved, tmp_path):
+        with np.load(saved) as data:
+            t = data["barometer.t"].copy()
+        t[-1] = np.inf
+        bad = _rewrite(saved, tmp_path / "bad.npz", replace={"barometer.t": t})
+        with pytest.raises(SensorError, match="barometer.t"):
+            load_recording(bad)
+
+    def test_length_mismatch_names_the_channel(self, saved, tmp_path):
+        with np.load(saved) as data:
+            short = data["gyro.values"][:-10].copy()
+        bad = _rewrite(saved, tmp_path / "bad.npz", replace={"gyro.values": short})
+        with pytest.raises(SensorError, match="gyro"):
+            load_recording(bad)
+
+    def test_trace_missing_field_named(self, hill_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(path, hill_trace)
+        bad = _rewrite(path, tmp_path / "bad.npz", drop=("trace.v",))
+        with pytest.raises(SensorError, match="trace.v"):
+            load_trace(bad)
+
+    def test_trace_nonfinite_timebase_rejected(self, hill_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(path, hill_trace)
+        with np.load(path) as data:
+            t = data["trace.t"].copy()
+        t[0] = np.nan
+        bad = _rewrite(path, tmp_path / "bad.npz", replace={"trace.t": t})
+        with pytest.raises(SensorError, match="non-finite"):
+            load_trace(bad)
