@@ -2,7 +2,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check lint test fast test-faults bench-smoke bench bench-batch bench-faults
+.PHONY: check lint test fast test-faults bench-smoke bench bench-batch bench-faults profile benchtrack benchtrack-report
 
 check: lint test bench-smoke
 
@@ -36,4 +36,14 @@ bench-batch:
 
 bench-faults:
 	$(PYTEST) benchmarks/bench_faults.py -q -p no:cacheprovider
-	PYTHONPATH=src python benchmarks/bench_faults.py --reduced
+	PYTHONPATH=src python benchmarks/bench_faults.py --reduced \
+		--manifest benchmarks/bench_faults_manifest.json
+
+profile:
+	PYTHONPATH=src python -m repro.obs.profile --trips 3
+
+benchtrack:
+	PYTHONPATH=src python -m repro.obs.benchtrack check benchmarks/ --no-append
+
+benchtrack-report:
+	PYTHONPATH=src python -m repro.obs.benchtrack report benchmarks/

@@ -117,11 +117,44 @@ def main() -> None:
     parser.add_argument(
         "--out", type=Path, default=ARTIFACT, help="artifact path"
     )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="also write a run manifest JSON here (CI artifact)",
+    )
     args = parser.parse_args()
 
     severities = REDUCED_SEVERITIES if args.reduced else FULL_SEVERITIES
     result = run_matrix(severities=severities, use_sanitize=not args.no_sanitize)
     path = write_resilience_artifact(result, args.out)
+
+    if args.manifest is not None:
+        from repro.obs.manifest import write_manifest
+
+        flagged = sum(
+            1
+            for s in result["scenarios"]
+            if isinstance(s.get("health"), dict)
+            and s["health"].get("worst_verdict", "ok") != "ok"
+        )
+        write_manifest(
+            args.manifest,
+            config=ResilienceConfig(
+                severities=severities, use_sanitize=not args.no_sanitize
+            ),
+            seed=3,
+            health=result["clean_health"],
+            extra={
+                "kind": "bench_faults",
+                "aggregate": {
+                    "clean_rmse_deg": result["clean_rmse_deg"],
+                    "n_scenarios": len(result["scenarios"]),
+                    "n_flagged": flagged,
+                },
+            },
+        )
+        print(f"manifest written to {args.manifest}")
 
     n_ok = sum(1 for s in result["scenarios"] if s["ok"])
     print(f"wrote {path} ({n_ok}/{len(result['scenarios'])} scenarios ok)")

@@ -1,14 +1,21 @@
 """Telemetry overhead micro-benchmark + observability smoke benchmark.
 
-Two guarantees are pinned here:
+Three guarantees are pinned here:
 
 1. With telemetry disabled (``NullTelemetry`` / no telemetry argument) the
    streaming hot path ``StreamingGradientEstimator.push`` pays only a
    single ``is None`` check — measured overhead must stay below 5 %.
-2. With telemetry enabled, one ``GradientEstimationSystem.estimate`` call
+2. Health monitors plus the stage profiler must cost under 10 % on a full
+   batch-engine ``estimate()`` — and leave the outputs bit-identical.
+3. With telemetry enabled, one ``GradientEstimationSystem.estimate`` call
    produces the full four-stage span tree with populated counters; this
    doubles as the CI smoke benchmark that populates
    ``benchmarks/bench_telemetry.json``.
+
+The overhead ratios land as ``bench.*`` gauges in the telemetry artifact,
+where ``repro.obs.benchtrack`` picks them up as
+``telemetry.push_overhead_ratio`` / ``telemetry.monitor_overhead_ratio``
+and gates their history.
 """
 
 from __future__ import annotations
@@ -21,8 +28,10 @@ import numpy as np
 from conftest import print_block
 from repro.constants import GRAVITY
 from repro.core.online import StreamingGradientEstimator
-from repro.core.pipeline import GradientEstimationSystem
+from repro.core.pipeline import GradientEstimationSystem, GradientSystemConfig
 from repro.obs import NullTelemetry, export_run
+from repro.obs.health import HealthConfig
+from repro.obs.profile import Profiler
 from repro.roads import SectionSpec, build_profile
 from repro.sensors import Smartphone
 from repro.vehicle import DriverProfile, simulate_trip
@@ -66,6 +75,68 @@ def test_null_telemetry_push_overhead(bench_telemetry):
         f"overhead {100.0 * (ratio - 1.0):+.2f}%"
     )
     assert ratio < 1.05
+
+
+def _bench_road_recording(seed_trip: int = 5, seed_phone: int = 6):
+    specs = [
+        SectionSpec.from_degrees(600.0, 2.0, 1, 5.0, name="up"),
+        SectionSpec.from_degrees(600.0, -1.5, 2, -8.0, name="down"),
+        SectionSpec.from_degrees(600.0, 3.0, 2, 4.0, name="steep"),
+    ]
+    profile = build_profile(specs, name="overhead")
+    trace = simulate_trip(
+        profile, driver=DriverProfile(lane_changes_per_km=2.0), seed=seed_trip
+    )
+    recording = Smartphone().record(trace, np.random.default_rng(seed_phone))
+    return profile, recording
+
+
+def test_monitor_and_profiler_overhead(bench_telemetry):
+    """Health monitors + stage profiler must cost <10% on the batch engine.
+
+    Also pins passivity: the monitored/profiled run's outputs must be
+    bit-identical to the bare run's.
+    """
+    profile, recording = _bench_road_recording()
+    bare = GradientEstimationSystem(
+        profile, config=GradientSystemConfig(health=HealthConfig(enabled=False))
+    )
+    profiler = Profiler()
+    with profiler.install():
+        monitored = GradientEstimationSystem(
+            profile, config=GradientSystemConfig()
+        )
+
+    result_bare = bare.estimate(recording)
+    result_mon = monitored.estimate(recording)
+    assert result_mon.health is not None
+    assert np.array_equal(result_bare.fused.theta, result_mon.fused.theta)
+    assert np.array_equal(result_bare.fused.variance, result_mon.fused.variance)
+    for source in result_bare.tracks:
+        assert np.array_equal(
+            result_bare.tracks[source].theta, result_mon.tracks[source].theta
+        )
+
+    best_bare = math.inf
+    best_mon = math.inf
+    with bench_telemetry.span("monitor_overhead_bench", repeats=REPEATS):
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            bare.estimate(recording)
+            best_bare = min(best_bare, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            monitored.estimate(recording)
+            best_mon = min(best_mon, time.perf_counter() - t0)
+    ratio = best_mon / best_bare
+    bench_telemetry.gauge("bench.monitor_overhead_ratio", ratio)
+    assert {"stage.alignment", "stage.ekf_tracks", "stage.fusion"} <= set(
+        profiler.sections
+    )
+    print_block(
+        f"batch estimate: bare {best_bare * 1e3:.1f} ms, monitors+profiler "
+        f"{best_mon * 1e3:.1f} ms, overhead {100.0 * (ratio - 1.0):+.2f}%"
+    )
+    assert ratio < 1.10
 
 
 def test_estimate_span_tree_smoke(bench_telemetry):

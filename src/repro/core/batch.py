@@ -52,6 +52,7 @@ def estimate_tracks_batch(
     config: GradientEKFConfig | None = None,
     names: Sequence[str | None] | None = None,
     telemetry: Telemetry | None = None,
+    monitor=None,
 ) -> list[GradientTrack]:
     """Run the gradient EKF over N tracks simultaneously.
 
@@ -62,6 +63,10 @@ def estimate_tracks_batch(
         The k-th track is ``(accels[k], velocities[k], arc_lengths[k])``.
     names:
         Optional per-track names (default: each velocity source's name).
+    monitor:
+        Optional :class:`~repro.obs.health.HealthMonitor`; receives each
+        track's innovation record via ``check_track``. Purely passive —
+        outputs are bit-identical with or without it.
 
     Returns
     -------
@@ -89,11 +94,13 @@ def estimate_tracks_batch(
                 config=cfg,
                 name=names[k] if names is not None else None,
                 telemetry=telemetry,
+                monitor=monitor,
             )
             for k in range(n_tracks)
         ]
 
     tel = telemetry if telemetry is not None and telemetry.active else None
+    mon = monitor
 
     # -- per-track setup (cold path, mirrors estimate_track exactly) -------
     ts: list[np.ndarray] = []
@@ -155,7 +162,12 @@ def estimate_tracks_batch(
     theta_out = np.empty((n_max, n_tracks))
     var_out = np.empty((n_max, n_tracks))
     v_out = np.empty((n_max, n_tracks))
-    inno_out = np.full((n_max, n_tracks), np.nan) if tel is not None else None
+    inno_out = (
+        np.full((n_max, n_tracks), np.nan)
+        if tel is not None or mon is not None
+        else None
+    )
+    s_out = np.full((n_max, n_tracks), np.nan) if mon is not None else None
 
     # Measurement gating, hoisted out of the loop: which tracks update at
     # which tick, plus fast per-tick any/all flags.
@@ -263,6 +275,8 @@ def estimate_tracks_batch(
         # factor forced to 1) so one vector pass serves every tick shape.
         if row_any[i]:
             add(p11, r, out=s_inno)
+            if s_out is not None:
+                s_out[i] = s_inno
             div(p11, s_inno, out=k1)
             div(p12, s_inno, out=k2)
             sub(z_in[i], v, out=inno)
@@ -295,6 +309,26 @@ def estimate_tracks_batch(
                 tel.observe_many("ekf_innovation_abs", np.abs(inno_k[finite]))
             tel.gauge("ekf.final_theta_variance", float(var_out[n_k - 1, k]))
         name_k = names[k] if names is not None else None
+        if mon is not None:
+            ticks_k = np.flatnonzero(update_mask[:n_k, k])
+            mon.check_track(
+                name_k or velocities[k].name,
+                theta_out[:n_k, k],
+                var_out[:n_k, k],
+                innovations=inno_out[ticks_k, k],
+                s=s_out[ticks_k, k],
+                update_ticks=ticks_k,
+                dt=float(dt[k]),
+                n_ticks=int(n_k),
+                # Padding ticks keep advancing the covariance of shorter
+                # tracks past their real end, so the final P is only
+                # meaningful for full-length tracks.
+                final_cov=(
+                    (float(p11[k]), float(p12[k]), float(p22[k]))
+                    if n_k == n_max
+                    else None
+                ),
+            )
         tracks.append(
             GradientTrack(
                 name=name_k or velocities[k].name,

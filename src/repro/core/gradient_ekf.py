@@ -183,6 +183,14 @@ class GradientFilterCore:
         self.c = c
         self.d = d
 
+    def innovation_variance(self) -> float:
+        """Predicted innovation variance ``S = H P H^T + R`` for this tick.
+
+        Read-only; health monitors call it just before :meth:`update` to
+        normalize the innovation without touching the filter state.
+        """
+        return self.p11 + self.r
+
     def update(self, z: float) -> float:
         """Fuse one velocity measurement (H = [1, 0]); returns the innovation."""
         p11, p12 = self.p11, self.p12
@@ -243,6 +251,7 @@ def estimate_track(
     config: GradientEKFConfig | None = None,
     name: str | None = None,
     telemetry: Telemetry | None = None,
+    monitor=None,
 ) -> GradientTrack:
     """Run the gradient EKF against one velocity source (fast engine).
 
@@ -255,6 +264,10 @@ def estimate_track(
         One of the four velocity sources.
     s:
         Estimated arc length on the phone timebase (from the alignment).
+    monitor:
+        Optional :class:`~repro.obs.health.HealthMonitor`; receives the
+        track's innovation record via ``check_track``. Purely passive —
+        outputs are bit-identical with or without it.
     """
     vehicle = vehicle or DEFAULT_VEHICLE
     cfg = config or GradientEKFConfig()
@@ -275,6 +288,11 @@ def estimate_track(
         tel.count("ekf_ticks", n)
         tel.count("ekf_updates", int(np.count_nonzero(np.isfinite(z))))
     innovations: list[float] = []
+    mon = monitor
+    if mon is not None:
+        mon_inno: list[float] = []
+        mon_s: list[float] = []
+        mon_ticks: list[int] = []
     r_std = cfg.std_for(velocity.name)
 
     # Initial state: first available measurement, flat road prior.
@@ -314,9 +332,14 @@ def estimate_track(
 
         zi = z[i]
         if zi == zi:  # not NaN
+            if mon is not None:
+                mon_s.append(core.innovation_variance())
             inno = core.update(zi)
             if tel is not None:
                 innovations.append(abs(inno))
+            if mon is not None:
+                mon_inno.append(inno)
+                mon_ticks.append(i)
 
         theta_out[i] = core.theta
         var_out[i] = core.p22
@@ -336,8 +359,22 @@ def estimate_track(
             tel.observe_many("ekf_innovation_abs", innovations)
         tel.gauge("ekf.final_theta_variance", float(var_out[-1]))
 
+    track_name = name or velocity.name
+    if mon is not None:
+        mon.check_track(
+            track_name,
+            theta_out,
+            var_out,
+            innovations=np.asarray(mon_inno),
+            s=np.asarray(mon_s),
+            update_ticks=np.asarray(mon_ticks, dtype=int),
+            dt=dt,
+            n_ticks=n,
+            final_cov=(core.p11, core.p12, core.p22),
+        )
+
     return GradientTrack(
-        name=name or velocity.name,
+        name=track_name,
         t=t.copy(),
         s=s.copy(),
         theta=theta_out,

@@ -55,6 +55,7 @@ class StreamingGradientEstimator:
         measurement_std: float = 0.2,
         v0: float | None = None,
         telemetry: Telemetry | None = None,
+        health=None,
     ) -> None:
         if dt <= 0.0:
             raise EstimationError("dt must be positive")
@@ -90,6 +91,17 @@ class StreamingGradientEstimator:
         obs = telemetry if telemetry is not None and telemetry.active else None
         self._obs = obs
         self._diverged = False
+
+        # Optional streaming health monitor (a HealthConfig enables it).
+        # Purely passive — it reads the core's state but never writes, so
+        # estimates are bit-identical with health on or off.
+        self._health = None
+        if health is not None and getattr(health, "enabled", True):
+            from ..obs.health import StreamingHealthMonitor
+
+            self._health = StreamingHealthMonitor(
+                health, p22_initial=self._p0_22, dt=dt
+            )
         if obs is not None:
             self._c_ticks = obs.metrics.counter("stream.ticks")
             self._c_updates = obs.metrics.counter("stream.updates")
@@ -106,6 +118,11 @@ class StreamingGradientEstimator:
     def recoveries(self) -> int:
         """Covariance resets performed after non-finite ticks."""
         return self._recoveries
+
+    @property
+    def health(self):
+        """The :class:`~repro.obs.health.StreamingHealthMonitor`, or None."""
+        return self._health
 
     @property
     def state(self) -> StreamState:
@@ -142,13 +159,21 @@ class StreamingGradientEstimator:
         core.predict(accel)
         updated = False
         if v_meas is not None and not self._need_init:
-            core.update(float(v_meas))
+            if self._health is not None:
+                s = core.innovation_variance()
+                inno = core.update(float(v_meas))
+                self._health.record_update(inno, s)
+            else:
+                core.update(float(v_meas))
             updated = True
 
         self._t += self.dt
         self._ticks += 1
         if self._obs is not None:
             self._record_tick(updated)
+        if self._health is not None:
+            # Observe the raw post-tick state, before any recovery masks it.
+            self._health.record_tick(core, updated)
         if math.isfinite(core.theta) and math.isfinite(core.v):
             self._ok_v = core.v
             self._ok_theta = core.theta

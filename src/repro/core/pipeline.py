@@ -30,6 +30,7 @@ import numpy as np
 from ..config import SerializableConfig
 from ..errors import EstimationError
 from ..obs import NULL_TELEMETRY, Telemetry
+from ..obs.health import HealthConfig, HealthMonitor, HealthReport
 from ..roads.cache import CachedRoadProfile
 from ..roads.profile import RoadProfile
 from ..sensors.alignment import AlignedSteering, CoordinateAlignment
@@ -93,6 +94,14 @@ class GradientSystemConfig(SerializableConfig):
         poisoning it (``pipeline.track_rejected``). Healthy tracks sit at
         1.0, so the default of 0.5 never touches clean runs; 0 disables
         the gate.
+    health:
+        Estimator health monitoring thresholds
+        (:class:`~repro.obs.health.HealthConfig`). Monitoring is passive —
+        estimates are bit-identical with it on or off — and attaches a
+        :class:`~repro.obs.health.HealthReport` to each result;
+        ``health.enabled=False`` skips it entirely, and
+        ``health.gate_fusion=True`` additionally excludes ``diverged``
+        tracks from fusion.
     stages:
         The pipeline as an ordered tuple of registered stage names
         (:data:`~repro.core.stages.STAGE_REGISTRY`). Defaults to the
@@ -109,6 +118,7 @@ class GradientSystemConfig(SerializableConfig):
     cache_geometry: bool = True
     sanitize: SanitizeConfig = field(default_factory=SanitizeConfig)
     min_track_finite_fraction: float = 0.5
+    health: HealthConfig = field(default_factory=HealthConfig)
     stages: tuple[str, ...] = DEFAULT_STAGES
 
     def __post_init__(self) -> None:
@@ -153,6 +163,7 @@ class EstimationResult:
     events: list[LaneChangeEvent]
     aligned: AlignedSteering
     s_grid: np.ndarray
+    health: HealthReport | None = None
 
     def gradient_at(self, s: float | np.ndarray):
         """Fused gradient [rad] at arc length ``s`` (linear interpolation)."""
@@ -229,6 +240,17 @@ class GradientEstimationSystem:
             vehicle=self.vehicle,
             telemetry=tel,
         )
+        monitor: HealthMonitor | None = None
+        if cfg.health.enabled:
+            monitor = HealthMonitor(
+                cfg.health,
+                telemetry=tel,
+                p22_initial=cfg.ekf.initial_grade_std**2,
+            )
+            # Screen the *raw* recording before any stage (sanitize repairs
+            # NaN bursts, so the screen must see the original input).
+            monitor.check_recording(recording)
+            ctx.extras["health_monitor"] = monitor
         with tel.span("estimate", n_sources=len(cfg.velocity_sources)):
             for stage in self.stages:
                 with tel.span(stage.name) as span:
@@ -252,12 +274,26 @@ class GradientEstimationSystem:
                 f"{missing}; a complete pipeline needs the alignment and "
                 f"fusion stages (or custom stages filling the same outputs)"
             )
+        report: HealthReport | None = None
+        if monitor is not None:
+            report = monitor.report()
+            if report.verdict != "ok" and tel.active:
+                tel.count(
+                    "health.trips_flagged", labels={"verdict": report.verdict}
+                )
+                tel.event(
+                    "health.trip_flagged",
+                    verdict=report.verdict,
+                    n_flags=report.n_flags,
+                    kinds=report.flag_kinds(),
+                )
         return EstimationResult(
             fused=ctx.fused,
             tracks=ctx.tracks,
             events=ctx.events,
             aligned=ctx.aligned,
             s_grid=ctx.s_grid,
+            health=report,
         )
 
     def _fusion_grid(self, aligned: AlignedSteering) -> np.ndarray:

@@ -215,6 +215,7 @@ class TrackEstimationStage:
                 f"degraded to estimate"
             )
         ctx.signals = dict(zip(kept, signals))
+        monitor = ctx.extras.get("health_monitor")
         tracks: dict[str, GradientTrack] = {}
         if cfg.ekf_engine == "batch" and len(signals) > 1:
             n = len(signals)
@@ -226,6 +227,7 @@ class TrackEstimationStage:
                 config=cfg.ekf,
                 names=kept,
                 telemetry=tel,
+                monitor=monitor,
             )
             tracks = dict(zip(kept, batch))
         else:
@@ -238,6 +240,7 @@ class TrackEstimationStage:
                     config=cfg.ekf,
                     name=source,
                     telemetry=tel,
+                    monitor=monitor,
                 )
         ctx.tracks = tracks
         return ctx
@@ -266,6 +269,7 @@ class FusionStage:
                 "configured stage order"
             )
         min_fraction = ctx.config.min_track_finite_fraction
+        monitor = ctx.extras.get("health_monitor")
         kept: list[GradientTrack] = []
         for name, track in ctx.tracks.items():
             fraction = float(np.mean(np.isfinite(track.theta)))
@@ -279,6 +283,27 @@ class FusionStage:
                         finite_fraction=round(fraction, 4),
                     )
                 continue
+            if monitor is not None:
+                verdict = monitor.track_verdict(name)
+                if verdict != "ok":
+                    if tel.active:
+                        tel.count(
+                            "health.track_flagged", labels={"verdict": verdict}
+                        )
+                        tel.event(
+                            "health.track_flagged", source=name, verdict=verdict
+                        )
+                    # Exclusion is opt-in: monitoring alone must never
+                    # change what gets fused.
+                    if verdict == "diverged" and monitor.config.gate_fusion:
+                        if tel.active:
+                            tel.count("pipeline.track_rejected")
+                            tel.event(
+                                "pipeline.track_rejected",
+                                source=name,
+                                reason="health_diverged",
+                            )
+                        continue
             kept.append(track)
         if not kept:
             raise DegradedInputError(

@@ -48,6 +48,7 @@ rebuild path so the reports stay pinned equal.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -113,6 +114,7 @@ class TripOutcome:
     mae_deg: float = float("nan")
     mre: float = float("nan")
     metrics: dict = field(default_factory=dict)  # worker metrics snapshot
+    health: dict = field(default_factory=dict)  # HealthReport.summary()
 
 
 @dataclass
@@ -133,6 +135,26 @@ class EvalReport:
         """Trips that crashed and were excluded from fusion."""
         return sum(1 for t in self.trips if not t.ok)
 
+    def health_summary(self) -> dict:
+        """Run-level health digest over the surviving trips' reports."""
+        verdicts = [
+            t.health.get("verdict", "ok") for t in self.trips if t.ok and t.health
+        ]
+        worst = "ok"
+        if "diverged" in verdicts:
+            worst = "diverged"
+        elif "suspect" in verdicts:
+            worst = "suspect"
+        kinds: set[str] = set()
+        for t in self.trips:
+            if t.ok and t.health:
+                kinds.update(t.health.get("flag_kinds", ()))
+        return {
+            "worst_verdict": worst,
+            "n_flagged_trips": sum(1 for v in verdicts if v != "ok"),
+            "flag_kinds": sorted(kinds),
+        }
+
     def summary(self) -> dict:
         """JSON-able digest (the 'report' parallel/serial equality pins)."""
         return {
@@ -141,6 +163,7 @@ class EvalReport:
             "n_failed": self.n_failed,
             "mae_deg": self.mae_deg,
             "mre": self.mre,
+            "health": self.health_summary(),
             "trips": [
                 {
                     "index": t.index,
@@ -149,6 +172,9 @@ class EvalReport:
                     "n_lane_changes": t.n_lane_changes,
                     "mae_deg": t.mae_deg,
                     "mre": t.mre,
+                    "health_verdict": t.health.get("verdict", "ok")
+                    if t.ok
+                    else None,
                 }
                 for t in self.trips
             ],
@@ -187,6 +213,7 @@ def _run_trip(
         mae_deg=mean_absolute_error(theta, truth, degrees=True),
         mre=mean_relative_error(theta, truth),
         metrics=worker_tel.metrics.snapshot() if worker_tel is not None else {},
+        health=result.health.summary() if result.health is not None else {},
     )
 
 
@@ -196,6 +223,8 @@ def evaluate_trips(
     parallel: ParallelConfig | None = None,
     telemetry: Telemetry | None = None,
     fault_hook: Callable[[int], None] | None = None,
+    profiler=None,
+    manifest_path=None,
 ) -> EvalReport:
     """Simulate, estimate and score ``cfg.n_trips`` trips on a worker pool.
 
@@ -208,22 +237,44 @@ def evaluate_trips(
         Failure injection for tests: called with each trip index before the
         trip runs; raising makes that trip a recorded failure. Must be
         picklable for the ``process`` backend.
+    profiler:
+        Optional :class:`~repro.obs.profile.Profiler`. Wraps every pipeline
+        stage (``stage.<name>`` sections) plus the ``reference``/``trips``/
+        ``fusion`` phases, and records per-trip throughput in EKF ticks/s.
+        Incompatible with the ``process`` backend — stage wrappers do not
+        cross process boundaries.
+    manifest_path:
+        When set, write a self-describing run manifest JSON here
+        (:func:`~repro.obs.manifest.write_manifest`): config, seed, git
+        revision, metrics snapshot, health summary, and profile.
     """
     cfg = cfg or RunnerConfig()
     par = parallel or ParallelConfig()
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    if profiler is not None and par.backend == "process":
+        raise ConfigurationError(
+            "profiling is not supported on the 'process' backend; stage "
+            "timing sections cannot cross process boundaries"
+        )
 
-    with tel.span(
+    prof_install = profiler.install() if profiler is not None else nullcontext()
+
+    def _section(name: str):
+        return profiler.section(name) if profiler is not None else nullcontext()
+
+    with prof_install, tel.span(
         "evaluate_trips", n_trips=cfg.n_trips, backend=par.backend
     ):
-        with tel.span("reference"):
+        with tel.span("reference"), _section("reference"):
             reference = survey_reference_profile(profile).smoothed(
                 cfg.reference_smooth_m
             )
             s_grid = _common_grid(profile, cfg)
             truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
 
-        collect_metrics = tel.active
+        # Workers always collect metrics when profiling so throughput can
+        # count EKF ticks, even if the caller's telemetry is off.
+        collect_metrics = tel.active or profiler is not None
         cfg_spec = cfg.to_dict()  # workers rebuild the config from data
         args = [
             (profile, cfg_spec, i, s_grid, truth, collect_metrics, fault_hook)
@@ -231,7 +282,7 @@ def evaluate_trips(
         ]
 
         outcomes: list[TripOutcome] = []
-        with tel.span("trips"):
+        with tel.span("trips"), _section("trips"):
             if par.backend == "serial":
                 for a in args:
                     outcomes.append(_guarded_trip(a))
@@ -269,7 +320,10 @@ def evaluate_trips(
         for outcome in outcomes:
             if outcome.ok:
                 survivors.append(outcome)
-                if collect_metrics and outcome.metrics:
+                # Merge only into a *live* registry: with profiling on but
+                # telemetry off, tel is the shared NULL_TELEMETRY and must
+                # never accumulate state.
+                if tel.active and outcome.metrics:
                     tel.metrics.merge_snapshot(outcome.metrics)
             else:
                 tel.count("eval.worker_failed")
@@ -282,7 +336,7 @@ def evaluate_trips(
                 f"{outcomes[0].error if outcomes else 'none ran'}"
             )
 
-        with tel.span("fusion", n_tracks=len(survivors)):
+        with tel.span("fusion", n_tracks=len(survivors)), _section("fusion"):
             if len(survivors) > 1:
                 fused = fuse_tracks(
                     [o.fused for o in survivors],
@@ -295,7 +349,7 @@ def evaluate_trips(
                 fused_theta = survivors[0].theta
 
     tel.count("eval.parallel_reports")
-    return EvalReport(
+    report = EvalReport(
         profile_name=profile.name,
         n_trips=cfg.n_trips,
         s_grid=s_grid,
@@ -305,6 +359,41 @@ def evaluate_trips(
         mae_deg=mean_absolute_error(fused_theta, truth, degrees=True),
         mre=mean_relative_error(fused_theta, truth),
     )
+
+    if profiler is not None:
+        total_ticks = sum(
+            int(o.metrics.get("counters", {}).get("ekf_ticks", 0))
+            for o in survivors
+        )
+        profiler.set_throughput(
+            n_trips=len(survivors),
+            ticks=total_ticks,
+            wall_s=profiler.wall("trips"),
+        )
+
+    if manifest_path is not None:
+        from ..obs.manifest import write_manifest
+
+        write_manifest(
+            manifest_path,
+            config=cfg,
+            seed=cfg.seed,
+            metrics=tel.metrics.snapshot() if tel.active else {},
+            health=report.health_summary(),
+            profile=profiler.to_dict() if profiler is not None else None,
+            extra={
+                "kind": "evaluate_trips",
+                "road_profile": profile.name,
+                "backend": par.backend,
+                "aggregate": {
+                    "mae_deg": report.mae_deg,
+                    "mre": report.mre,
+                    "n_trips": report.n_trips,
+                    "n_failed": report.n_failed,
+                },
+            },
+        )
+    return report
 
 
 def _guarded_trip(packed) -> TripOutcome:

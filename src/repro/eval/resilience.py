@@ -154,6 +154,7 @@ def run_resilience_matrix(
         clean_rmse = root_mean_square_error(
             clean.fused_theta, clean.truth, degrees=True
         )
+        clean_health = clean.health_summary()
 
         scenarios: list[dict] = []
         for kind in cfg.fault_kinds:
@@ -183,6 +184,7 @@ def run_resilience_matrix(
                             rmse_deg=None,
                             rmse_ratio=None,
                             n_failed=base.n_trips,
+                            health=None,
                         )
                     else:
                         rmse = root_mean_square_error(
@@ -196,6 +198,7 @@ def run_resilience_matrix(
                             if clean_rmse > 0.0
                             else None,
                             n_failed=report.n_failed,
+                            health=report.health_summary(),
                         )
                 scenarios.append(record)
     tel.count("resilience.matrices")
@@ -209,6 +212,7 @@ def run_resilience_matrix(
         "stages": list(stages) if stages is not None else None,
         "severities": list(cfg.severities),
         "clean_rmse_deg": _json_float(clean_rmse),
+        "clean_health": clean_health,
         "scenarios": scenarios,
     }
 

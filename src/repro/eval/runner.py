@@ -38,6 +38,7 @@ from ..datasets.steering_study import calibrated_thresholds
 from ..errors import ConfigurationError
 from ..faults.suite import FaultSuiteConfig, apply_fault_suite
 from ..obs import NULL_TELEMETRY, Telemetry
+from ..obs.health import HealthConfig
 from ..roads.profile import RoadProfile
 from ..roads.reference import survey_reference_profile
 from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording, Smartphone
@@ -89,6 +90,9 @@ class RunnerConfig(SerializableConfig):
     trip index; ``stages`` overrides the system's stage list (e.g.
     :data:`~repro.core.stages.ROBUST_STAGES` to enable sanitization).
     Both default to ``None`` — clean data through the paper pipeline.
+    ``health`` overrides the system's estimator-health thresholds
+    (:class:`~repro.obs.health.HealthConfig`); ``None`` keeps the system
+    default (monitoring on, passive).
     """
 
     n_trips: int = 2
@@ -107,6 +111,7 @@ class RunnerConfig(SerializableConfig):
     ann: ANNBaselineConfig = field(default_factory=ANNBaselineConfig)
     faults: FaultSuiteConfig | None = None
     stages: tuple[str, ...] | None = None
+    health: HealthConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_trips < 1:
@@ -211,6 +216,8 @@ def system_config(
     extra = {}
     if cfg.stages is not None:
         extra["stages"] = tuple(cfg.stages)
+    if cfg.health is not None:
+        extra["health"] = cfg.health
     return GradientSystemConfig(
         ekf=GradientEKFConfig(process=cfg.process),
         detector=LaneChangeDetectorConfig(thresholds=thresholds),

@@ -1,21 +1,47 @@
-"""Observability for the estimation stack: tracing, metrics, logging, export.
+"""Observability for the estimation stack: tracing, metrics, health, export.
 
-The subsystem is deliberately dependency-free (stdlib + numpy) and splits
-into four layers:
+The subsystem is deliberately dependency-free (stdlib + numpy + scipy for
+chi-square bounds) and splits into seven layers:
 
 * :mod:`~repro.obs.trace` — nested span timers (``with tel.span("stage")``);
-* :mod:`~repro.obs.metrics` — process-local counters/gauges/histograms;
+* :mod:`~repro.obs.metrics` — process-local counters/gauges/histograms,
+  with label support and exactly-mergeable p50/p95/p99 percentiles;
 * :mod:`~repro.obs.logging` — structured ``key=value`` / JSON-lines logs,
   switched by the ``REPRO_TELEMETRY`` environment variable;
-* :mod:`~repro.obs.export` — dump a run's spans + metrics to dict/JSON/JSONL.
+* :mod:`~repro.obs.health` — estimator health monitors: NIS consistency
+  bounds, covariance watchdogs, raw-input screens, and per-trip
+  ``ok``/``suspect``/``diverged`` verdicts;
+* :mod:`~repro.obs.profile` — deterministic per-stage wall/CPU profiler
+  with per-trip throughput;
+* :mod:`~repro.obs.export` — dump a run's spans + metrics to
+  dict/JSON/JSONL/Prometheus text;
+* :mod:`~repro.obs.manifest` / :mod:`~repro.obs.benchtrack` — run
+  provenance manifests, and benchmark history with regression gating
+  (``python -m repro.obs.benchtrack``).
 
-:class:`Telemetry` bundles the three primitives and is what the pipeline
-threads through its stages; :class:`NullTelemetry` (shared instance
-:data:`NULL_TELEMETRY`) is the no-op default that keeps the hot paths free
-when observability is off.
+:class:`Telemetry` bundles the tracing/metrics/logging primitives and is
+what the pipeline threads through its stages; :class:`NullTelemetry`
+(shared instance :data:`NULL_TELEMETRY`) is the no-op default that keeps
+the hot paths free when observability is off.
 """
 
-from .export import export_run, write_json, write_jsonl
+from .export import (
+    export_run,
+    format_span_tree,
+    prometheus_text,
+    write_json,
+    write_jsonl,
+    write_prometheus,
+)
+from .health import (
+    HealthConfig,
+    HealthFlag,
+    HealthMonitor,
+    HealthReport,
+    StreamingHealthMonitor,
+    TrackHealth,
+    nis_bound,
+)
 from .logging import (
     ENV_SWITCH,
     JsonLinesFormatter,
@@ -24,7 +50,16 @@ from .logging import (
     log_format,
     telemetry_enabled,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .manifest import build_manifest, git_revision, write_manifest
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    parse_metric_key,
+)
+from .profile import Profiler
 from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, from_env
 from .trace import Span, Tracer
 
@@ -32,20 +67,36 @@ __all__ = [
     "ENV_SWITCH",
     "Counter",
     "Gauge",
+    "HealthConfig",
+    "HealthFlag",
+    "HealthMonitor",
+    "HealthReport",
     "Histogram",
     "JsonLinesFormatter",
     "KeyValueFormatter",
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "Profiler",
     "Span",
+    "StreamingHealthMonitor",
     "Telemetry",
+    "TrackHealth",
     "Tracer",
+    "build_manifest",
     "export_run",
+    "format_span_tree",
     "from_env",
     "get_logger",
+    "git_revision",
     "log_format",
+    "metric_key",
+    "nis_bound",
+    "parse_metric_key",
+    "prometheus_text",
     "telemetry_enabled",
     "write_json",
     "write_jsonl",
+    "write_manifest",
+    "write_prometheus",
 ]

@@ -1,0 +1,415 @@
+"""Benchmark history tracking and regression gating.
+
+The nightly bench jobs drop point-in-time artifacts (``BENCH_batch.json``,
+``BENCH_faults.json``, ``bench_telemetry.json``) into ``benchmarks/`` —
+numbers with no memory. This module folds them into an append-only,
+schema'd history (``BENCH_history.jsonl``, one JSON entry per run),
+computes deltas against the previous entry, and exits nonzero when a
+configured :class:`RegressionRule` trips — which is what lets CI *fail* on
+a throughput or accuracy regression instead of silently archiving it.
+
+CLI
+---
+::
+
+    python -m repro.obs.benchtrack collect benchmarks/   # extract metrics
+    python -m repro.obs.benchtrack check benchmarks/     # append + gate
+    python -m repro.obs.benchtrack report benchmarks/    # human summary
+
+``check`` exits 0 when no rule trips, 1 on a detected regression, and 2 on
+usage errors (no artifacts, unreadable history). ``--no-append`` gates
+without growing the history (useful on PR builds); ``--rules`` loads a
+JSON list of rule dicts replacing the defaults. ``report`` renders the
+latest metrics, the deltas, the health flags recorded in the fault
+matrix, and the span tree of the benchmark telemetry artifact.
+
+Metrics extracted per artifact
+------------------------------
+==============================  ===============================================
+``batch.speedup``               batch-vs-scalar engine speedup (latest entry)
+``batch.batch_s`` / `…scalar_s``  raw engine timings [s]
+``faults.clean_rmse_deg``       clean-baseline accuracy of the fault matrix
+``faults.max_rmse_ratio``       worst degradation ratio across ok scenarios
+``faults.n_scenarios_failed``   scenarios that produced no estimate
+``telemetry.<gauge>``           every ``bench.*`` gauge from the overhead
+                                benchmarks (e.g. ``telemetry.push_overhead_ratio``)
+==============================  ===============================================
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import SerializableConfig
+from ..errors import ConfigurationError
+from .manifest import git_revision
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_RULES",
+    "RegressionRule",
+    "collect_metrics",
+    "append_history",
+    "load_history",
+    "check_regressions",
+]
+
+SCHEMA = "repro.bench_history/v1"
+
+#: Default history file name inside the bench directory.
+HISTORY_NAME = "BENCH_history.jsonl"
+
+
+@dataclass(frozen=True)
+class RegressionRule(SerializableConfig):
+    """One gate: how much a metric may move before CI fails.
+
+    ``direction`` names the *good* direction — ``"higher"`` means bigger is
+    better (throughput), ``"lower"`` means smaller is better (error,
+    overhead). ``tolerance`` is the allowed fractional move in the bad
+    direction relative to the previous entry (0.15 = 15%). ``max_value`` /
+    ``min_value`` additionally gate the absolute value regardless of
+    history. A rule whose metric is absent from a run is skipped — bench
+    artifacts are produced by different jobs and need not all be present.
+    """
+
+    metric: str
+    direction: str = "higher"
+    tolerance: float = 0.15
+    max_value: float | None = None
+    min_value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower"):
+            raise ConfigurationError(
+                f"rule direction must be 'higher' or 'lower', "
+                f"got {self.direction!r}"
+            )
+        if self.tolerance < 0.0:
+            raise ConfigurationError("rule tolerance cannot be negative")
+
+    def evaluate(self, current: float, previous: float | None) -> str | None:
+        """The violation message, or ``None`` when the rule passes."""
+        if self.max_value is not None and current > self.max_value:
+            return (
+                f"{self.metric}: {current:.4g} exceeds absolute ceiling "
+                f"{self.max_value:.4g}"
+            )
+        if self.min_value is not None and current < self.min_value:
+            return (
+                f"{self.metric}: {current:.4g} below absolute floor "
+                f"{self.min_value:.4g}"
+            )
+        if previous is None or previous == 0.0:
+            return None
+        change = (current - previous) / abs(previous)
+        if self.direction == "higher" and change < -self.tolerance:
+            return (
+                f"{self.metric}: dropped {-change:.1%} "
+                f"({previous:.4g} -> {current:.4g}), tolerance {self.tolerance:.0%}"
+            )
+        if self.direction == "lower" and change > self.tolerance:
+            return (
+                f"{self.metric}: grew {change:.1%} "
+                f"({previous:.4g} -> {current:.4g}), tolerance {self.tolerance:.0%}"
+            )
+        return None
+
+
+#: The gates CI runs with: engine throughput must not sink, fault-matrix
+#: accuracy must not drift, observability overhead must stay bounded.
+DEFAULT_RULES: tuple[RegressionRule, ...] = (
+    RegressionRule(metric="batch.speedup", direction="higher", tolerance=0.25),
+    RegressionRule(
+        metric="faults.clean_rmse_deg", direction="lower", tolerance=0.25
+    ),
+    RegressionRule(
+        metric="telemetry.push_overhead_ratio",
+        direction="lower",
+        tolerance=0.25,
+        max_value=1.05,
+    ),
+    RegressionRule(
+        metric="telemetry.monitor_overhead_ratio",
+        direction="lower",
+        tolerance=0.25,
+        max_value=1.10,
+    ),
+)
+
+
+def _read_json(path: Path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def collect_metrics(bench_dir: str | Path) -> dict:
+    """Extract the tracked scalar metrics from a bench artifact directory."""
+    bench_dir = Path(bench_dir)
+    metrics: dict[str, float] = {}
+
+    batch = _read_json(bench_dir / "BENCH_batch.json")
+    if isinstance(batch, list) and batch:
+        latest = batch[-1]
+        for field_name, key in (
+            ("speedup", "batch.speedup"),
+            ("batch_s", "batch.batch_s"),
+            ("scalar_s", "batch.scalar_s"),
+        ):
+            value = latest.get(field_name)
+            if isinstance(value, (int, float)):
+                metrics[key] = float(value)
+
+    faults = _read_json(bench_dir / "BENCH_faults.json")
+    if isinstance(faults, dict):
+        clean = faults.get("clean_rmse_deg")
+        if isinstance(clean, (int, float)):
+            metrics["faults.clean_rmse_deg"] = float(clean)
+        scenarios = faults.get("scenarios")
+        if isinstance(scenarios, list) and scenarios:
+            ratios = [
+                s["rmse_ratio"]
+                for s in scenarios
+                if s.get("ok") and isinstance(s.get("rmse_ratio"), (int, float))
+            ]
+            if ratios:
+                metrics["faults.max_rmse_ratio"] = float(max(ratios))
+            metrics["faults.n_scenarios_failed"] = float(
+                sum(1 for s in scenarios if not s.get("ok"))
+            )
+
+    telemetry = _read_json(bench_dir / "bench_telemetry.json")
+    if isinstance(telemetry, dict):
+        # The artifact nests one export_run dict per benchmark under
+        # "benchmarks"; tolerate a bare export_run dict too.
+        runs = telemetry.get("benchmarks")
+        if not isinstance(runs, dict):
+            runs = {"run": telemetry}
+        for run in runs.values():
+            if not isinstance(run, dict):
+                continue
+            gauges = run.get("metrics", {}).get("gauges", {})
+            for name, value in gauges.items():
+                if name.startswith("bench.") and isinstance(value, (int, float)):
+                    metrics["telemetry." + name[len("bench.") :]] = float(value)
+
+    return metrics
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """Parse a ``BENCH_history.jsonl`` file (missing file = empty history)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: list[dict] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"corrupt bench history {path} at line {lineno}: {exc}"
+            ) from exc
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+def append_history(path: str | Path, metrics: dict, ts: float | None = None) -> dict:
+    """Append one schema'd entry to the history; returns the entry."""
+    entry = {
+        "schema": SCHEMA,
+        "ts": time.time() if ts is None else float(ts),
+        "git_sha": git_revision(),
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def deltas(metrics: dict, previous: dict | None) -> dict:
+    """Per-metric ``(previous, current, change)`` records vs. the last entry."""
+    prev_metrics = (previous or {}).get("metrics", {})
+    out: dict[str, dict] = {}
+    for name in sorted(metrics):
+        current = metrics[name]
+        prev = prev_metrics.get(name)
+        record: dict = {"current": current, "previous": prev}
+        if isinstance(prev, (int, float)) and prev != 0:
+            record["change"] = (current - prev) / abs(prev)
+        out[name] = record
+    return out
+
+
+def check_regressions(
+    metrics: dict,
+    previous: dict | None,
+    rules: tuple[RegressionRule, ...] = DEFAULT_RULES,
+) -> list[str]:
+    """Evaluate every rule; returns the violation messages (empty = pass)."""
+    prev_metrics = (previous or {}).get("metrics", {})
+    violations: list[str] = []
+    for rule in rules:
+        current = metrics.get(rule.metric)
+        if current is None:
+            continue
+        prev = prev_metrics.get(rule.metric)
+        message = rule.evaluate(
+            float(current), float(prev) if prev is not None else None
+        )
+        if message is not None:
+            violations.append(message)
+    return violations
+
+
+def _load_rules(path: str) -> tuple[RegressionRule, ...]:
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, list):
+        raise ConfigurationError(
+            f"rules file {path} must hold a JSON list of rule dicts"
+        )
+    return tuple(RegressionRule.from_dict(d) for d in raw)
+
+
+def _cmd_collect(bench_dir: Path, args) -> int:
+    metrics = collect_metrics(bench_dir)
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_check(bench_dir: Path, args) -> int:
+    metrics = collect_metrics(bench_dir)
+    if not metrics:
+        print(f"benchtrack: no bench artifacts found in {bench_dir}")
+        return 2
+    history_path = Path(args.history) if args.history else bench_dir / HISTORY_NAME
+    try:
+        history = load_history(history_path)
+    except ConfigurationError as exc:
+        print(f"benchtrack: {exc}")
+        return 2
+    previous = history[-1] if history else None
+    rules = _load_rules(args.rules) if args.rules else DEFAULT_RULES
+
+    violations = check_regressions(metrics, previous, rules)
+    for name, record in deltas(metrics, previous).items():
+        change = record.get("change")
+        change_text = f" ({change:+.1%})" if change is not None else ""
+        print(f"  {name}: {record['current']:.4g}{change_text}")
+
+    if not args.no_append:
+        append_history(history_path, metrics)
+        print(f"benchtrack: appended entry #{len(history) + 1} to {history_path}")
+
+    if violations:
+        print(f"benchtrack: {len(violations)} regression(s) detected:")
+        for message in violations:
+            print(f"  REGRESSION {message}")
+        return 1
+    print("benchtrack: no regressions")
+    return 0
+
+
+def _cmd_report(bench_dir: Path, args) -> int:
+    from .export import format_span_tree
+
+    metrics = collect_metrics(bench_dir)
+    history_path = Path(args.history) if args.history else bench_dir / HISTORY_NAME
+    history = load_history(history_path)
+    previous = history[-1] if history else None
+
+    print(f"bench report for {bench_dir} ({len(history)} history entries)")
+    print()
+    print("metrics vs previous entry:")
+    for name, record in deltas(metrics, previous).items():
+        change = record.get("change")
+        change_text = f" ({change:+.1%})" if change is not None else ""
+        print(f"  {name:36s} {record['current']:>12.4g}{change_text}")
+
+    faults = _read_json(bench_dir / "BENCH_faults.json")
+    if isinstance(faults, dict):
+        flagged = [
+            s
+            for s in faults.get("scenarios", [])
+            if isinstance(s.get("health"), dict)
+            and s["health"].get("worst_verdict", "ok") != "ok"
+        ]
+        print()
+        print(
+            f"fault-matrix health: {len(flagged)} flagged scenario(s) of "
+            f"{len(faults.get('scenarios', []))}"
+        )
+        for s in flagged:
+            h = s["health"]
+            print(
+                f"  {s.get('kind'):12s} sev={s.get('severity')}: "
+                f"{h.get('worst_verdict')} {h.get('flag_kinds', [])}"
+            )
+
+    telemetry = _read_json(bench_dir / "bench_telemetry.json")
+    if isinstance(telemetry, dict):
+        runs = telemetry.get("benchmarks")
+        if not isinstance(runs, dict):
+            runs = {"run": telemetry}
+        trees = [
+            (name, run)
+            for name, run in sorted(runs.items())
+            if isinstance(run, dict) and run.get("spans")
+        ]
+        if trees:
+            print()
+            print("benchmark span trees:")
+            for name, run in trees:
+                print(f"  [{name}]")
+                for line in format_span_tree(run).splitlines():
+                    print(f"  {line}")
+    return 0
+
+
+def _main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.benchtrack",
+        description="Track benchmark history and gate on regressions.",
+    )
+    parser.add_argument("command", choices=("collect", "check", "report"))
+    parser.add_argument("bench_dir", help="directory holding BENCH_*.json artifacts")
+    parser.add_argument(
+        "--history", default=None, help=f"history file (default <bench_dir>/{HISTORY_NAME})"
+    )
+    parser.add_argument(
+        "--rules", default=None, help="JSON file with a list of RegressionRule dicts"
+    )
+    parser.add_argument(
+        "--no-append", action="store_true", help="gate without growing the history"
+    )
+    args = parser.parse_args(argv)
+
+    bench_dir = Path(args.bench_dir)
+    if not bench_dir.is_dir():
+        print(f"benchtrack: {bench_dir} is not a directory")
+        return 2
+    try:
+        if args.command == "collect":
+            return _cmd_collect(bench_dir, args)
+        if args.command == "check":
+            return _cmd_check(bench_dir, args)
+        return _cmd_report(bench_dir, args)
+    except ConfigurationError as exc:
+        print(f"benchtrack: {exc}")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(_main())

@@ -12,6 +12,23 @@ registry can be reused across runs; ``snapshot()`` returns a
 JSON-serialisable dict. Counters/gauges/histograms live in separate
 namespaces, mirroring Prometheus-style conventions. Not thread-safe —
 one registry per pipeline instance.
+
+Labels
+------
+Every registry accessor takes an optional ``labels`` dict. Labels are
+encoded into the metric key Prometheus-style (``name{k="v"}``, keys
+sorted), so labelled metrics are ordinary registry entries: snapshots and
+:meth:`MetricsRegistry.merge_snapshot` need no special handling, and
+:func:`parse_metric_key` recovers ``(name, labels)`` for exporters.
+
+Percentiles
+-----------
+Histograms additionally bin every observation into fixed power-of-two
+buckets (signed, via ``frexp``; zero gets its own bucket). Bucket counts
+are plain integers, so merging worker snapshots sums them exactly and the
+p50/p95/p99 estimates — linear interpolation inside the covering bucket,
+clamped to the observed ``[min, max]`` — are identical whether the values
+were observed in one registry or merged from many.
 """
 
 from __future__ import annotations
@@ -20,7 +37,70 @@ import math
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "parse_metric_key",
+]
+
+# Power-of-two bucket grid: a finite value with frexp-exponent e of its
+# magnitude lands in bucket [2^(e-1), 2^e); exponents clip to this range so
+# the code set is bounded. Code 0 is the exact-zero bucket; negative values
+# mirror to negative codes, keeping code order == value order.
+_EXP_LO = -40
+_EXP_HI = 40
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """Encode a metric name plus labels as one registry key."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, dict]:
+    """Invert :func:`metric_key`: ``(bare name, labels dict)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels
+
+
+def _bucket_code(value: float) -> int:
+    """The signed bucket code one observation falls into."""
+    _, e = math.frexp(value)
+    if e < _EXP_LO:
+        e = _EXP_LO
+    elif e > _EXP_HI:
+        e = _EXP_HI
+    code = e - _EXP_LO + 1
+    if value > 0.0:
+        return code
+    if value < 0.0:
+        return -code
+    return 0
+
+
+def bucket_edges(code: int) -> tuple[float, float]:
+    """``(lo, hi)`` value range of a bucket code (0 is the zero bucket)."""
+    if code == 0:
+        return 0.0, 0.0
+    e = abs(code) + _EXP_LO - 1
+    lo = math.ldexp(1.0, e - 1)
+    hi = math.ldexp(1.0, e)
+    if code < 0:
+        return -hi, -lo
+    return lo, hi
 
 
 class Counter:
@@ -62,13 +142,15 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/last).
+    """Streaming summary of observed values (count/sum/min/max/last/pXX).
 
     Deliberately keeps no per-sample storage so hot loops can feed it; for
-    bulk recording use :meth:`observe_many` with an array.
+    bulk recording use :meth:`observe_many` with an array. Percentiles come
+    from the fixed power-of-two bucket counts (see the module docstring),
+    so memory stays bounded and worker snapshots merge exactly.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "last")
+    __slots__ = ("name", "count", "total", "min", "max", "last", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -83,6 +165,8 @@ class Histogram:
         if value > self.max:
             self.max = value
         self.last = value
+        code = _bucket_code(value)
+        self.buckets[code] = self.buckets.get(code, 0) + 1
 
     def observe_many(self, values) -> None:
         arr = np.asarray(values, dtype=float).ravel()
@@ -97,10 +181,45 @@ class Histogram:
         if hi > self.max:
             self.max = hi
         self.last = float(arr[-1])
+        _, e = np.frexp(arr)
+        np.clip(e, _EXP_LO, _EXP_HI, out=e)
+        codes = e - (_EXP_LO - 1)
+        codes = np.where(arr > 0.0, codes, np.where(arr < 0.0, -codes, 0))
+        for code, n in zip(*np.unique(codes, return_counts=True)):
+            code = int(code)
+            self.buckets[code] = self.buckets.get(code, 0) + int(n)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile from the bucket counts.
+
+        Linear interpolation inside the covering bucket, clamped to the
+        observed ``[min, max]`` — exact for single-valued histograms, and
+        identical for a merged registry and its serial equivalent.
+        """
+        total = sum(self.buckets.values())
+        if total == 0:
+            return math.nan
+        rank = q * total
+        cum = 0
+        est = self.max
+        for code in sorted(self.buckets):
+            n = self.buckets[code]
+            prev = cum
+            cum += n
+            if cum >= rank:
+                lo, hi = bucket_edges(code)
+                frac = (rank - prev) / n
+                est = lo + frac * (hi - lo)
+                break
+        if est < self.min:
+            est = self.min
+        if est > self.max:
+            est = self.max
+        return float(est)
 
     def reset(self) -> None:
         self.count = 0
@@ -108,6 +227,7 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.last = math.nan
+        self.buckets: dict[int, int] = {}
 
     def snapshot(self) -> dict:
         if self.count == 0:
@@ -119,6 +239,10 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "last": self.last,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
         }
 
 
@@ -130,22 +254,25 @@ class MetricsRegistry:
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
-        metric = self.counters.get(name)
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        key = metric_key(name, labels)
+        metric = self.counters.get(key)
         if metric is None:
-            metric = self.counters[name] = Counter(name)
+            metric = self.counters[key] = Counter(key)
         return metric
 
-    def gauge(self, name: str) -> Gauge:
-        metric = self.gauges.get(name)
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self.gauges.get(key)
         if metric is None:
-            metric = self.gauges[name] = Gauge(name)
+            metric = self.gauges[key] = Gauge(key)
         return metric
 
-    def histogram(self, name: str) -> Histogram:
-        metric = self.histograms.get(name)
+    def histogram(self, name: str, labels: dict | None = None) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self.histograms.get(key)
         if metric is None:
-            metric = self.histograms[name] = Histogram(name)
+            metric = self.histograms[key] = Histogram(key)
         return metric
 
     def reset(self) -> None:
@@ -174,9 +301,10 @@ class MetricsRegistry:
         The cross-worker merge for parallel evaluation: counters add,
         gauges keep the merged-last value (callers merge in a
         deterministic order), histogram summaries combine exactly —
-        count/sum accumulate, min/max widen, ``last`` follows merge order.
-        Merging N worker snapshots in trip order therefore reproduces the
-        registry a serial run over the same trips would have built.
+        count/sum accumulate, min/max widen, bucket counts add, ``last``
+        follows merge order. Merging N worker snapshots in trip order
+        therefore reproduces the registry a serial run over the same trips
+        would have built, percentile estimates included.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
@@ -194,3 +322,6 @@ class MetricsRegistry:
             if summary["max"] > hist.max:
                 hist.max = summary["max"]
             hist.last = float(summary["last"])
+            for code, n in summary.get("buckets", {}).items():
+                code = int(code)
+                hist.buckets[code] = hist.buckets.get(code, 0) + int(n)

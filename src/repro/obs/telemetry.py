@@ -48,17 +48,17 @@ class Telemetry:
 
     # -- metrics -------------------------------------------------------------
 
-    def count(self, name: str, n: int = 1) -> None:
-        self.metrics.counter(name).inc(n)
+    def count(self, name: str, n: int = 1, labels: dict | None = None) -> None:
+        self.metrics.counter(name, labels).inc(n)
 
-    def gauge(self, name: str, value: float) -> None:
-        self.metrics.gauge(name).set(value)
+    def gauge(self, name: str, value: float, labels: dict | None = None) -> None:
+        self.metrics.gauge(name, labels).set(value)
 
-    def observe(self, name: str, value: float) -> None:
-        self.metrics.histogram(name).observe(value)
+    def observe(self, name: str, value: float, labels: dict | None = None) -> None:
+        self.metrics.histogram(name, labels).observe(value)
 
-    def observe_many(self, name: str, values) -> None:
-        self.metrics.histogram(name).observe_many(values)
+    def observe_many(self, name: str, values, labels: dict | None = None) -> None:
+        self.metrics.histogram(name, labels).observe_many(values)
 
     # -- structured events ---------------------------------------------------
 
@@ -117,16 +117,16 @@ class NullTelemetry(Telemetry):
     def span(self, name: str, **attributes) -> Span:  # type: ignore[override]
         return _NULL_SPAN  # type: ignore[return-value]
 
-    def count(self, name: str, n: int = 1) -> None:
+    def count(self, name: str, n: int = 1, labels: dict | None = None) -> None:
         pass
 
-    def gauge(self, name: str, value: float) -> None:
+    def gauge(self, name: str, value: float, labels: dict | None = None) -> None:
         pass
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, labels: dict | None = None) -> None:
         pass
 
-    def observe_many(self, name: str, values) -> None:
+    def observe_many(self, name: str, values, labels: dict | None = None) -> None:
         pass
 
     def event(self, name: str, level: int = _stdlib_logging.INFO, **fields) -> None:

@@ -79,4 +79,14 @@ class TestMatrix:
             assert "ok" in scenario  # recorded, never raised
             assert scenario["ok"]
             assert scenario["rmse_deg"] is not None
+        # Health summaries ride along: the clean baseline is unflagged and
+        # every completed scenario records a verdict.
+        assert result["clean_health"]["worst_verdict"] == "ok"
+        for scenario in result["scenarios"]:
+            assert scenario["health"]["worst_verdict"] in (
+                "ok",
+                "suspect",
+                "diverged",
+            )
+
         json.dumps(result)  # strict JSON, ready for the bench artifact

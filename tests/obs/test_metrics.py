@@ -161,3 +161,123 @@ class TestMergeSnapshot:
         for seed in (0, 1, 2):
             merged.merge_snapshot(self._worker(seed).snapshot())
         assert merged.snapshot() == serial.snapshot()
+
+
+class TestMetricKeys:
+    def test_plain_name_round_trips(self):
+        from repro.obs import metric_key, parse_metric_key
+
+        assert metric_key("ekf_ticks") == "ekf_ticks"
+        assert parse_metric_key("ekf_ticks") == ("ekf_ticks", {})
+
+    def test_labels_encode_sorted_and_parse_back(self):
+        from repro.obs import metric_key, parse_metric_key
+
+        key = metric_key("health.flag", {"severity": "suspect", "kind": "nis"})
+        assert key == 'health.flag{kind="nis",severity="suspect"}'
+        assert parse_metric_key(key) == (
+            "health.flag",
+            {"kind": "nis", "severity": "suspect"},
+        )
+
+    def test_labelled_metrics_are_distinct_entries(self):
+        reg = MetricsRegistry()
+        reg.counter("flag", {"kind": "a"}).inc()
+        reg.counter("flag", {"kind": "b"}).inc(2)
+        snap = reg.snapshot()
+        assert snap["counters"]['flag{kind="a"}'] == 1
+        assert snap["counters"]['flag{kind="b"}'] == 2
+
+    def test_labelled_gauge_and_histogram(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio", {"engine": "batch"}).set(1.5)
+        reg.histogram("inno", {"source": "gps"}).observe(0.2)
+        assert reg.gauge("ratio", {"engine": "batch"}).value == 1.5
+        assert reg.histogram("inno", {"source": "gps"}).count == 1
+
+
+class TestPercentiles:
+    def test_single_value_is_exact(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(3.0)
+        snap = reg.histogram("h").snapshot()
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 3.0
+
+    def test_quantiles_ordered_and_within_range(self):
+        reg = MetricsRegistry()
+        values = np.abs(np.random.default_rng(7).normal(size=5000))
+        reg.histogram("h").observe_many(values)
+        h = reg.histogram("h")
+        p50, p95, p99 = h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)
+        assert h.min <= p50 <= p95 <= p99 <= h.max
+
+    def test_quantile_tracks_numpy_within_bucket_resolution(self):
+        # Power-of-two buckets: the estimate can be off by at most one
+        # octave, i.e. a factor of 2, from the sample quantile.
+        reg = MetricsRegistry()
+        values = np.abs(np.random.default_rng(11).normal(size=20000))
+        reg.histogram("h").observe_many(values)
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            est = reg.histogram("h").quantile(q)
+            assert exact / 2 <= est <= exact * 2
+
+    def test_negative_and_zero_values_bucket_correctly(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe_many([-4.0, -1.0, 0.0, 1.0, 4.0])
+        h = reg.histogram("h")
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.0) == -4.0  # clamped to min
+        assert h.quantile(1.0) == 4.0  # clamped to max
+
+    def test_observe_and_observe_many_fill_identical_buckets(self):
+        values = np.random.default_rng(3).normal(size=500)
+        bulk = MetricsRegistry()
+        bulk.histogram("h").observe_many(values)
+        loop = MetricsRegistry()
+        for v in values:
+            loop.histogram("h").observe(float(v))
+        assert bulk.histogram("h").buckets == loop.histogram("h").buckets
+
+    def test_snapshot_carries_percentiles_and_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe_many([1.0, 2.0, 3.0])
+        snap = json.loads(json.dumps(reg.histogram("h").snapshot()))
+        assert {"p50", "p95", "p99", "buckets"} <= set(snap)
+        assert sum(snap["buckets"].values()) == 3
+
+
+class TestMergedPercentiles:
+    def test_merged_percentiles_equal_serial(self):
+        # The exactness contract: bucket counts are integers, so merged
+        # workers and a serial run yield the *same* percentile estimates.
+        rng = np.random.default_rng(5)
+        chunks = [np.abs(rng.normal(size=400)) for _ in range(4)]
+        serial = MetricsRegistry()
+        merged = MetricsRegistry()
+        for chunk in chunks:
+            serial.histogram("inno").observe_many(chunk)
+            worker = MetricsRegistry()
+            worker.histogram("inno").observe_many(chunk)
+            merged.merge_snapshot(worker.snapshot())
+        assert merged.histogram("inno").snapshot() == serial.histogram(
+            "inno"
+        ).snapshot()
+
+    def test_merge_accumulates_bucket_counts(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(1.5)
+        b = MetricsRegistry()
+        b.histogram("h").observe(1.5)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(a.snapshot())
+        merged.merge_snapshot(b.snapshot())
+        (code,) = merged.histogram("h").buckets
+        assert merged.histogram("h").buckets[code] == 2
+
+    def test_merge_preserves_labelled_entries(self):
+        worker = MetricsRegistry()
+        worker.counter("flag", {"kind": "nis"}).inc(3)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(worker.snapshot())
+        assert merged.counter("flag", {"kind": "nis"}).value == 3
