@@ -64,6 +64,14 @@ from .errors import DegradedInputError, FaultInjectionError, ReproError
 from .eval import ComparisonResult, RunnerConfig, evaluate_fusion_counts, evaluate_methods
 from .faults import FAULT_KINDS, FaultSpec, FaultSuiteConfig, apply_fault_suite
 from .obs import NullTelemetry, Telemetry, export_run, telemetry_enabled
+from .scenarios import (
+    SCENARIOS,
+    DriverSpec,
+    ScenarioConfig,
+    TripPlanSpec,
+    VehicleCohortSpec,
+    scenario_by_name,
+)
 from .roads import (
     RoadNetwork,
     RoadProfile,
@@ -123,6 +131,12 @@ __all__ = [
     "FAULT_KINDS",
     "FaultSpec",
     "FaultSuiteConfig",
+    "SCENARIOS",
+    "DriverSpec",
+    "ScenarioConfig",
+    "TripPlanSpec",
+    "VehicleCohortSpec",
+    "scenario_by_name",
     "apply_fault_suite",
     "NullTelemetry",
     "Telemetry",

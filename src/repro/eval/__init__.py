@@ -10,6 +10,7 @@ from .metrics import (
     root_mean_square_error,
     score_lane_change_detection,
 )
+from .grid import ScenarioGridConfig, run_scenario_grid, write_grid_artifact
 from .parallel import EvalReport, ParallelConfig, TripOutcome, evaluate_trips
 from .resilience import (
     ResilienceConfig,
@@ -44,6 +45,9 @@ __all__ = [
     "ParallelConfig",
     "TripOutcome",
     "evaluate_trips",
+    "ScenarioGridConfig",
+    "run_scenario_grid",
+    "write_grid_artifact",
     "ResilienceConfig",
     "fault_suite_for",
     "run_resilience_matrix",

@@ -41,6 +41,7 @@ from ..obs import NULL_TELEMETRY, Telemetry
 from ..obs.health import HealthConfig
 from ..roads.profile import RoadProfile
 from ..roads.reference import survey_reference_profile
+from ..scenarios.config import ScenarioConfig
 from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording, Smartphone
 from ..vehicle.driver import DriverProfile
 from ..vehicle.simulator import SimulationConfig, simulate_trip
@@ -93,6 +94,13 @@ class RunnerConfig(SerializableConfig):
     ``health`` overrides the system's estimator-health thresholds
     (:class:`~repro.obs.health.HealthConfig`); ``None`` keeps the system
     default (monitoring on, passive).
+
+    ``scenario`` (a :class:`~repro.scenarios.ScenarioConfig`) resolves a
+    driver style, vehicle cohort draw and trip-plan limits/stops per trip,
+    deterministically in ``(scenario.seed, trip_index)``; ``None`` (and
+    equally the all-default scenario) keeps the historical behaviour
+    bit-identical. Scenarios compose freely with ``faults`` — the grid
+    benchmark (:mod:`repro.eval.grid`) sweeps both axes at once.
     """
 
     n_trips: int = 2
@@ -112,6 +120,7 @@ class RunnerConfig(SerializableConfig):
     faults: FaultSuiteConfig | None = None
     stages: tuple[str, ...] | None = None
     health: HealthConfig | None = None
+    scenario: ScenarioConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_trips < 1:
@@ -176,16 +185,35 @@ def simulate_recording(
     the same recording whether built serially, out of order, or inside a
     worker process. This is the seeding contract the parallel runner
     (:mod:`repro.eval.parallel`) relies on. When ``cfg.faults`` is set, the
-    scenario is applied to the recording, seeded by ``(faults.seed, index)``
-    — equally deterministic.
+    fault scenario is applied to the recording, seeded by
+    ``(faults.seed, index)`` — equally deterministic. When
+    ``cfg.scenario`` is set, driver / vehicle / mount / trip-plan
+    overrides resolve from ``(scenario.seed, index)`` first; the
+    all-default scenario resolves to the identical no-override path.
     """
+    driver = _driver_for_trip(cfg, index)
+    vehicle = None
+    mount_yaw = 0.0
+    sim_cfg = SimulationConfig(sample_rate=cfg.sample_rate)
+    if cfg.scenario is not None:
+        trip = cfg.scenario.resolve_trip(index, driver)
+        driver = trip.driver
+        vehicle = trip.vehicle
+        mount_yaw = trip.mount_yaw
+        if trip.speed_zones or trip.stops:
+            sim_cfg = SimulationConfig(
+                sample_rate=cfg.sample_rate,
+                stops=trip.stops,
+                speed_zones=trip.speed_zones,
+            )
     trace = simulate_trip(
         profile,
-        driver=_driver_for_trip(cfg, index),
-        config=SimulationConfig(sample_rate=cfg.sample_rate),
+        driver=driver,
+        vehicle=vehicle,
+        config=sim_cfg,
         seed=cfg.seed * 104729 + index,
     )
-    phone = Smartphone().with_noise_scale(cfg.noise_scale)
+    phone = Smartphone(mounting_yaw=mount_yaw).with_noise_scale(cfg.noise_scale)
     rec = phone.record(trace, np.random.default_rng(cfg.seed * 65537 + index))
     if cfg.faults is not None:
         rec = apply_fault_suite(rec, cfg.faults, index)

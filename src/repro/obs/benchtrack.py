@@ -120,11 +120,31 @@ class RegressionRule(SerializableConfig):
 
 
 #: The gates CI runs with: engine throughput must not sink, fault-matrix
-#: accuracy must not drift, observability overhead must stay bounded.
+#: and scenario-grid accuracy must not drift, observability overhead must
+#: stay bounded. The absolute ``max_value`` gates make the scenario rules
+#: bite even on a fresh checkout with no history to diff against.
 DEFAULT_RULES: tuple[RegressionRule, ...] = (
     RegressionRule(metric="batch.speedup", direction="higher", tolerance=0.25),
     RegressionRule(
         metric="faults.clean_rmse_deg", direction="lower", tolerance=0.25
+    ),
+    RegressionRule(
+        metric="scenarios.max_clean_rmse_deg",
+        direction="lower",
+        tolerance=0.25,
+        max_value=1.5,
+    ),
+    RegressionRule(
+        metric="scenarios.max_rmse_ratio",
+        direction="lower",
+        tolerance=0.5,
+        max_value=4.0,
+    ),
+    RegressionRule(
+        metric="scenarios.n_cells_failed",
+        direction="lower",
+        tolerance=0.0,
+        max_value=0.0,
     ),
     RegressionRule(
         metric="telemetry.push_overhead_ratio",
@@ -182,6 +202,19 @@ def collect_metrics(bench_dir: str | Path) -> dict:
             metrics["faults.n_scenarios_failed"] = float(
                 sum(1 for s in scenarios if not s.get("ok"))
             )
+
+    grid = _read_json(bench_dir / "BENCH_scenarios.json")
+    if isinstance(grid, dict):
+        summary = grid.get("summary")
+        if isinstance(summary, dict):
+            for key in ("max_clean_rmse_deg", "max_rmse_ratio"):
+                value = summary.get(key)
+                if isinstance(value, (int, float)):
+                    metrics["scenarios." + key] = float(value)
+            for key in ("n_cells_failed", "n_baselines_failed"):
+                value = summary.get(key)
+                if isinstance(value, (int, float)):
+                    metrics["scenarios." + key] = float(value)
 
     telemetry = _read_json(bench_dir / "bench_telemetry.json")
     if isinstance(telemetry, dict):
@@ -355,6 +388,18 @@ def _cmd_report(bench_dir: Path, args) -> int:
                 f"  {s.get('kind'):12s} sev={s.get('severity')}: "
                 f"{h.get('worst_verdict')} {h.get('flag_kinds', [])}"
             )
+
+    grid = _read_json(bench_dir / "BENCH_scenarios.json")
+    if isinstance(grid, dict):
+        summary = grid.get("summary", {})
+        print()
+        print(
+            "scenario grid: {} cell(s), {} failed; worst cell: {}".format(
+                summary.get("n_cells"),
+                summary.get("n_cells_failed"),
+                summary.get("worst_cell"),
+            )
+        )
 
     telemetry = _read_json(bench_dir / "bench_telemetry.json")
     if isinstance(telemetry, dict):

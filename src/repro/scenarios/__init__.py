@@ -1,0 +1,53 @@
+"""Scenario library: driver styles × trip plans × vehicle fleets as data.
+
+The simulator's narrow scenario space (one driving style, one vehicle,
+one route family) is widened here into a serializable subsystem that the
+evaluation runner resolves deterministically per ``(seed, trip_index)``
+and composes with the fault taxonomy — the scenario × fault × driver grid
+(:mod:`repro.eval.grid`) is the repo's standing accuracy regression suite.
+"""
+
+from .config import (
+    SCENARIOS,
+    ResolvedTrip,
+    ScenarioConfig,
+    scenario_by_name,
+    scenario_names,
+)
+from .driver import DRIVER_STYLES, DriverSpec, driver_spec, driver_style_names
+from .trip_plan import (
+    TRIP_PLANS,
+    ZONE_KINDS,
+    TripPlanSpec,
+    ZoneKind,
+    trip_plan,
+    trip_plan_names,
+)
+from .vehicle import (
+    VEHICLE_COHORTS,
+    VehicleCohortSpec,
+    vehicle_cohort,
+    vehicle_cohort_names,
+)
+
+__all__ = [
+    "DRIVER_STYLES",
+    "DriverSpec",
+    "ResolvedTrip",
+    "SCENARIOS",
+    "ScenarioConfig",
+    "TRIP_PLANS",
+    "TripPlanSpec",
+    "VEHICLE_COHORTS",
+    "VehicleCohortSpec",
+    "ZONE_KINDS",
+    "ZoneKind",
+    "driver_spec",
+    "driver_style_names",
+    "scenario_by_name",
+    "scenario_names",
+    "trip_plan",
+    "trip_plan_names",
+    "vehicle_cohort",
+    "vehicle_cohort_names",
+]

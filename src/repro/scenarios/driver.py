@@ -1,0 +1,211 @@
+"""Parameterized driver behaviour families for the scenario library.
+
+Crowd-sourced grade estimation only works because it averages over
+heterogeneous drivers; the steering-study cohort
+(:func:`~repro.vehicle.driver.make_driver_cohort`) already varies maneuver
+*shape*, but every evaluation trip so far drove with the same cautious
+urban style. A :class:`DriverSpec` describes a whole style family — speed
+bias, control gain, comfort envelope, lane-change propensity, steering
+noise — plus the per-trip jitter ranges, and resolves to one concrete
+:class:`~repro.vehicle.driver.DriverProfile` deterministically in
+``(seed, trip_index)``, exactly like the fault suite resolves injector
+randomness.
+
+The ``"legacy"`` style is special: it reproduces the evaluation runner's
+historical per-trip driver bit-for-bit (same RNG derivation from the
+*runner* seed), which is what keeps the default scenario's output pinned
+identical to the pre-scenario pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SerializableConfig
+from ..errors import ConfigurationError
+from ..vehicle.driver import DriverProfile
+
+__all__ = ["DriverSpec", "DRIVER_STYLES", "driver_spec", "driver_style_names"]
+
+#: Salt mixed into the spec RNG so driver draws never collide with the
+#: vehicle-cohort or trip-plan streams derived from the same scenario seed.
+_DRIVER_SALT = 0x5EED_D21F
+
+
+@dataclass(frozen=True)
+class DriverSpec(SerializableConfig):
+    """One driver-style family, as pure data.
+
+    Attributes
+    ----------
+    style:
+        Label; ``"legacy"`` short-circuits resolution to the runner's
+        historical per-trip driver (all other fields are then ignored).
+    open_road_speed:
+        Preferred speed [m/s] on an open, unposted road (before bias).
+    speed_bias:
+        Multiplier applied both to the open-road speed and to posted
+        limits (1.14 = habitually 14% over the limit; 0.88 = under).
+    speed_jitter:
+        Half-width of the per-trip uniform cruise-speed multiplier.
+    tracking_gain:
+        Speed-controller P-gain [1/s]; aggressive drivers close speed
+        errors harder.
+    comfort_accel / comfort_decel:
+        Comfort envelope [m/s^2].
+    lane_changes_per_km:
+        Poisson rate of lane-change attempts; ``None`` inherits the
+        evaluation runner's configured rate.
+    steering_noise_std:
+        RMS of road-roughness steering jitter [rad/s].
+    duration_range / asymmetry_range:
+        Per-trip uniform draws for the lane-change doublet shape.
+    """
+
+    style: str = "legacy"
+    open_road_speed: float = 18.0
+    speed_bias: float = 1.0
+    speed_jitter: float = 0.1
+    tracking_gain: float = 0.35
+    comfort_accel: float = 1.6
+    comfort_decel: float = 2.2
+    lane_changes_per_km: float | None = None
+    steering_noise_std: float = 0.006
+    duration_range: tuple[float, float] = (4.2, 6.2)
+    asymmetry_range: tuple[float, float] = (0.8, 1.2)
+
+    def __post_init__(self) -> None:
+        if not self.style:
+            raise ConfigurationError("driver style label cannot be empty")
+        if self.open_road_speed <= 0.0:
+            raise ConfigurationError("open_road_speed must be positive")
+        if self.speed_bias <= 0.0:
+            raise ConfigurationError("speed_bias must be positive")
+        if not 0.0 <= self.speed_jitter < 1.0:
+            raise ConfigurationError("speed_jitter must be in [0, 1)")
+        if self.tracking_gain <= 0.0:
+            raise ConfigurationError("tracking_gain must be positive")
+        if self.comfort_accel <= 0.0 or self.comfort_decel <= 0.0:
+            raise ConfigurationError("comfort accelerations must be positive")
+        if self.lane_changes_per_km is not None and self.lane_changes_per_km < 0.0:
+            raise ConfigurationError("lane-change rate cannot be negative")
+        if self.steering_noise_std < 0.0:
+            raise ConfigurationError("steering noise cannot be negative")
+        for label, (lo, hi) in (
+            ("duration_range", self.duration_range),
+            ("asymmetry_range", self.asymmetry_range),
+        ):
+            if not (0.0 < lo <= hi):
+                raise ConfigurationError(f"{label} must satisfy 0 < lo <= hi")
+
+    @property
+    def is_legacy(self) -> bool:
+        """Whether resolution passes the runner's base driver through."""
+        return self.style == "legacy"
+
+    def resolve(
+        self, seed: int, trip_index: int, base: DriverProfile
+    ) -> DriverProfile:
+        """The concrete driver for trip ``trip_index`` of a scenario.
+
+        ``base`` is the evaluation runner's historical per-trip driver;
+        the legacy spec returns it unchanged (bit-identity), every other
+        style builds a fresh profile from its own parameters with jitter
+        drawn from a generator seeded by ``(seed, style, trip_index)``
+        alone — same spec + seed + index always yields the same driver.
+        """
+        if self.is_legacy:
+            return base
+        rng = np.random.default_rng(
+            [_DRIVER_SALT, abs(int(seed)), _style_key(self.style), abs(int(trip_index))]
+        )
+        lc_rate = (
+            base.lane_changes_per_km
+            if self.lane_changes_per_km is None
+            else self.lane_changes_per_km
+        )
+        cruise = (
+            self.open_road_speed
+            * self.speed_bias
+            * float(rng.uniform(1.0 - self.speed_jitter, 1.0 + self.speed_jitter))
+        )
+        return DriverProfile(
+            name=f"{self.style}-{trip_index}",
+            cruise_speed=cruise,
+            comfort_accel=self.comfort_accel,
+            comfort_decel=self.comfort_decel,
+            lane_change_duration=float(rng.uniform(*self.duration_range)),
+            lane_change_asymmetry=float(rng.uniform(*self.asymmetry_range)),
+            lane_changes_per_km=lc_rate * float(rng.uniform(0.8, 1.2)),
+            steering_noise_std=self.steering_noise_std,
+            speed_tracking_gain=self.tracking_gain,
+            limit_utilization=self.speed_bias,
+        )
+
+
+def _style_key(style: str) -> int:
+    """Stable non-negative integer from a style label (seed material)."""
+    return sum((i + 1) * b for i, b in enumerate(style.encode())) % (2**31)
+
+
+#: Named driver styles resolvable from scenario specs. ``legacy`` is the
+#: pre-scenario evaluation driver (the default scenario's no-op); the
+#: safe/normal/aggressive triple spans the envelope the paper's ten human
+#: drivers covered in the steering study.
+DRIVER_STYLES: dict[str, DriverSpec] = {
+    "legacy": DriverSpec(style="legacy"),
+    "safe": DriverSpec(
+        style="safe",
+        speed_bias=0.88,
+        speed_jitter=0.06,
+        tracking_gain=0.28,
+        comfort_accel=1.2,
+        comfort_decel=1.8,
+        lane_changes_per_km=0.8,
+        steering_noise_std=0.005,
+        duration_range=(5.0, 6.5),
+        asymmetry_range=(0.9, 1.1),
+    ),
+    "normal": DriverSpec(
+        style="normal",
+        speed_bias=1.0,
+        speed_jitter=0.1,
+        tracking_gain=0.35,
+        comfort_accel=1.6,
+        comfort_decel=2.2,
+        lane_changes_per_km=1.6,
+        steering_noise_std=0.006,
+        duration_range=(4.2, 6.2),
+        asymmetry_range=(0.8, 1.2),
+    ),
+    "aggressive": DriverSpec(
+        style="aggressive",
+        speed_bias=1.14,
+        speed_jitter=0.12,
+        tracking_gain=0.5,
+        comfort_accel=2.4,
+        comfort_decel=3.2,
+        lane_changes_per_km=3.2,
+        steering_noise_std=0.008,
+        duration_range=(3.6, 5.0),
+        asymmetry_range=(0.72, 1.28),
+    ),
+}
+
+
+def driver_style_names() -> list[str]:
+    """Registered driver-style names, sorted."""
+    return sorted(DRIVER_STYLES)
+
+
+def driver_spec(name: str) -> DriverSpec:
+    """Look a driver style up by name; unknown names fail loudly."""
+    try:
+        return DRIVER_STYLES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown driver style {name!r}; valid driver styles are "
+            f"{driver_style_names()}"
+        ) from None

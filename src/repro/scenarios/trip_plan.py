@@ -1,0 +1,244 @@
+"""Speed-zone trip plans: residential / main-road / highway route recipes.
+
+A :class:`TripPlanSpec` describes a trip as a sequence of *zones* — each a
+stretch of road with a characteristic posted limit, lane count, stop
+density and terrain roughness — and deterministically expands into three
+artifacts the evaluation runner consumes:
+
+* a :class:`~repro.roads.profile.RoadProfile` (grades and turns drawn per
+  section from the zone's terrain statistics, seeded by the plan seed);
+* posted-limit ``speed_zones`` for
+  :class:`~repro.vehicle.simulator.SimulationConfig`;
+* ``(position, duration)`` stop events matching the zone's stop density
+  (traffic lights in residential zones, none on the highway).
+
+The empty-``zones`` default is a *passthrough* plan: it builds nothing and
+the evaluation keeps whatever route the caller supplied — the scenario
+layer's off-switch, pinned bit-identical by the scenario tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SerializableConfig
+from ..constants import KMH
+from ..errors import ConfigurationError
+from ..roads.builder import SectionSpec, build_profile
+from ..roads.profile import RoadProfile
+
+__all__ = [
+    "ZoneKind",
+    "ZONE_KINDS",
+    "TripPlanSpec",
+    "TRIP_PLANS",
+    "trip_plan",
+    "trip_plan_names",
+]
+
+#: Salt for the plan RNG stream (kept distinct from driver/vehicle draws).
+_PLAN_SALT = 0x7A0BE5
+
+
+@dataclass(frozen=True)
+class ZoneKind:
+    """Static description of one zone type (catalogue entry, not config).
+
+    ``grade_std_deg`` / ``turn_std_deg`` parameterize the per-section
+    terrain draws; ``stops_per_km`` the traffic-light density.
+    """
+
+    name: str
+    speed_limit: float  # [m/s]
+    lanes: int
+    stops_per_km: float
+    grade_std_deg: float
+    turn_std_deg: float
+
+
+#: The three zone types trip plans compose. Limits follow typical urban /
+#: arterial / highway postings; residential roads are hillier per metre
+#: and single-lane, highways are flat, fast and multi-lane.
+ZONE_KINDS: dict[str, ZoneKind] = {
+    "residential": ZoneKind(
+        name="residential",
+        speed_limit=30.0 * KMH,
+        lanes=1,
+        stops_per_km=1.8,
+        grade_std_deg=2.4,
+        turn_std_deg=14.0,
+    ),
+    "main": ZoneKind(
+        name="main",
+        speed_limit=50.0 * KMH,
+        lanes=2,
+        stops_per_km=0.7,
+        grade_std_deg=1.6,
+        turn_std_deg=8.0,
+    ),
+    "highway": ZoneKind(
+        name="highway",
+        speed_limit=100.0 * KMH,
+        lanes=3,
+        stops_per_km=0.0,
+        grade_std_deg=0.9,
+        turn_std_deg=3.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TripPlanSpec(SerializableConfig):
+    """A trip as a zone sequence, expandable into route + limits + stops.
+
+    Attributes
+    ----------
+    name:
+        Plan label (shows up in route names and grid cells).
+    zones:
+        Ordered zone-kind names; the empty default is the passthrough
+        plan (keep the caller's route, no limits, no stops).
+    zone_length_m:
+        Length of each zone [m].
+    sections_per_zone:
+        Road-builder sections per zone; more sections = rougher terrain
+        at the same zone statistics.
+    stop_duration_s:
+        Dwell time at each stop event [s].
+    """
+
+    name: str = "default"
+    zones: tuple[str, ...] = ()
+    zone_length_m: float = 420.0
+    sections_per_zone: int = 2
+    stop_duration_s: float = 7.0
+
+    def __post_init__(self) -> None:
+        unknown = [z for z in self.zones if z not in ZONE_KINDS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown zone kind(s) {sorted(set(unknown))}; valid zone "
+                f"kinds are {sorted(ZONE_KINDS)}"
+            )
+        if self.zone_length_m < 150.0:
+            raise ConfigurationError(
+                "zones shorter than 150 m cannot host a realistic section"
+            )
+        if self.sections_per_zone < 1:
+            raise ConfigurationError("need at least one section per zone")
+        if self.stop_duration_s < 0.0:
+            raise ConfigurationError("stop duration cannot be negative")
+
+    @property
+    def is_passthrough(self) -> bool:
+        """Whether this plan keeps the caller's route untouched."""
+        return not self.zones
+
+    @property
+    def length(self) -> float:
+        """Planned route length [m] (0 for the passthrough plan)."""
+        return self.zone_length_m * len(self.zones)
+
+    def build_route(self, seed: int = 0) -> RoadProfile:
+        """The plan's road profile, deterministic in ``seed`` alone."""
+        if self.is_passthrough:
+            raise ConfigurationError(
+                "the passthrough trip plan has no route of its own; "
+                "evaluate it on a caller-supplied profile"
+            )
+        rng = np.random.default_rng([_PLAN_SALT, abs(int(seed))])
+        section_m = self.zone_length_m / self.sections_per_zone
+        specs: list[SectionSpec] = []
+        for zi, zone_name in enumerate(self.zones):
+            kind = ZONE_KINDS[zone_name]
+            for si in range(self.sections_per_zone):
+                grade = math.radians(
+                    float(np.clip(rng.normal(0.0, kind.grade_std_deg), -6.0, 6.0))
+                )
+                turn = math.radians(
+                    float(np.clip(rng.normal(0.0, kind.turn_std_deg), -40.0, 40.0))
+                )
+                specs.append(
+                    SectionSpec(
+                        length=section_m,
+                        grade=grade,
+                        lanes=kind.lanes,
+                        turn=turn,
+                        name=f"{zone_name}-{zi}.{si}",
+                    )
+                )
+        return build_profile(specs, name=f"plan-{self.name}")
+
+    def speed_zones(self) -> tuple[tuple[float, float, float], ...]:
+        """Posted-limit zones for :class:`SimulationConfig.speed_zones`."""
+        out = []
+        s = 0.0
+        for zone_name in self.zones:
+            kind = ZONE_KINDS[zone_name]
+            out.append((s, s + self.zone_length_m, kind.speed_limit))
+            s += self.zone_length_m
+        return tuple(out)
+
+    def stops(self, seed: int = 0) -> tuple[tuple[float, float], ...]:
+        """Seeded stop events matching each zone's stop density.
+
+        Stop positions are drawn uniformly inside the zone (margins kept
+        from the zone edges so braking ramps stay inside it) and sorted;
+        deterministic in ``seed`` alone — stops model fixed street
+        furniture, not per-trip randomness.
+        """
+        rng = np.random.default_rng([_PLAN_SALT + 1, abs(int(seed))])
+        events: list[tuple[float, float]] = []
+        s = 0.0
+        for zone_name in self.zones:
+            kind = ZONE_KINDS[zone_name]
+            n = int(round(kind.stops_per_km * self.zone_length_m / 1000.0))
+            if n > 0:
+                margin = min(90.0, self.zone_length_m / 4.0)
+                positions = rng.uniform(
+                    s + margin, s + self.zone_length_m - margin, size=n
+                )
+                events.extend(
+                    (float(p), self.stop_duration_s) for p in positions
+                )
+            s += self.zone_length_m
+        return tuple(sorted(events))
+
+
+#: Named trip plans. ``default`` is the passthrough; the rest are the
+#: scenario library's standing routes.
+TRIP_PLANS: dict[str, TripPlanSpec] = {
+    "default": TripPlanSpec(name="default"),
+    "suburban-commute": TripPlanSpec(
+        name="suburban-commute",
+        zones=("residential", "main", "main", "residential"),
+    ),
+    "highway-run": TripPlanSpec(
+        name="highway-run",
+        zones=("main", "highway", "highway", "main"),
+    ),
+    "stop-and-go": TripPlanSpec(
+        name="stop-and-go",
+        zones=("residential", "residential", "main"),
+        stop_duration_s=9.0,
+    ),
+}
+
+
+def trip_plan_names() -> list[str]:
+    """Registered trip-plan names, sorted."""
+    return sorted(TRIP_PLANS)
+
+
+def trip_plan(name: str) -> TripPlanSpec:
+    """Look a trip plan up by name; unknown names fail loudly."""
+    try:
+        return TRIP_PLANS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trip plan {name!r}; valid trip plans are "
+            f"{trip_plan_names()}"
+        ) from None

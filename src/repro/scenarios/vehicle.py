@@ -1,0 +1,139 @@
+"""Vehicle fleet diversity: seeded cohorts of vehicle + mount parameters.
+
+The paper's forward model (Eq 3) bakes the test vehicle's mass, drag and
+wheel radius into the state space — but a crowd-sourced deployment sees a
+*fleet*. A :class:`VehicleCohortSpec` describes parameter ranges (mass,
+drag coefficient, frontal area, phone mount yaw) and resolves trip
+``i`` of a scenario to one concrete
+:class:`~repro.vehicle.params.VehicleParams` plus a mounting-yaw angle,
+deterministically in ``(seed, trip_index)``. The estimator keeps assuming
+the default vehicle, so cohort spread directly stresses the model-mismatch
+robustness the crowd averaging has to absorb.
+
+The degenerate default (every range collapsed onto the paper's vehicle,
+zero mount yaw) resolves to exactly the pre-scenario setup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SerializableConfig
+from ..errors import ConfigurationError
+from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
+
+__all__ = [
+    "VehicleCohortSpec",
+    "VEHICLE_COHORTS",
+    "vehicle_cohort",
+    "vehicle_cohort_names",
+]
+
+#: Salt for the cohort RNG stream (distinct from driver/plan draws).
+_COHORT_SALT = 0xF1EE7
+
+
+@dataclass(frozen=True)
+class VehicleCohortSpec(SerializableConfig):
+    """Parameter ranges of one simulated fleet.
+
+    All ranges are inclusive ``(lo, hi)`` uniform draws; a collapsed range
+    (``lo == hi``) pins the parameter. ``mount_yaw_deg_range`` is the
+    phone's in-mount yaw misalignment, exercised through the Sec III-A
+    mounting-correction path.
+    """
+
+    name: str = "default"
+    mass_range: tuple[float, float] = (1479.0, 1479.0)
+    drag_coefficient_range: tuple[float, float] = (0.31, 0.31)
+    frontal_area_range: tuple[float, float] = (2.25, 2.25)
+    mount_yaw_deg_range: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        for label, (lo, hi) in (
+            ("mass_range", self.mass_range),
+            ("drag_coefficient_range", self.drag_coefficient_range),
+            ("frontal_area_range", self.frontal_area_range),
+        ):
+            if not (0.0 < lo <= hi):
+                raise ConfigurationError(f"{label} must satisfy 0 < lo <= hi")
+        lo, hi = self.mount_yaw_deg_range
+        if lo > hi:
+            raise ConfigurationError("mount_yaw_deg_range must satisfy lo <= hi")
+        if max(abs(lo), abs(hi)) > 45.0:
+            raise ConfigurationError(
+                "mount yaw beyond 45 degrees defeats the paper's alignment "
+                "assumption"
+            )
+
+    @property
+    def is_default(self) -> bool:
+        """Whether resolution always yields the paper's vehicle, yaw 0."""
+        return (
+            self.mass_range == (DEFAULT_VEHICLE.mass,) * 2
+            and self.drag_coefficient_range == (DEFAULT_VEHICLE.drag_coefficient,) * 2
+            and self.frontal_area_range == (DEFAULT_VEHICLE.frontal_area,) * 2
+            and self.mount_yaw_deg_range == (0.0, 0.0)
+        )
+
+    def resolve(
+        self, seed: int, trip_index: int
+    ) -> tuple[VehicleParams | None, float]:
+        """``(vehicle, mount_yaw_rad)`` for one trip of a scenario.
+
+        Returns ``(None, 0.0)`` for the degenerate default — the caller
+        keeps the exact pre-scenario objects (bit-identity) instead of a
+        value-equal reconstruction.
+        """
+        if self.is_default:
+            return None, 0.0
+        rng = np.random.default_rng(
+            [_COHORT_SALT, abs(int(seed)), abs(int(trip_index))]
+        )
+        vehicle = VehicleParams(
+            mass=float(rng.uniform(*self.mass_range)),
+            drag_coefficient=float(rng.uniform(*self.drag_coefficient_range)),
+            frontal_area=float(rng.uniform(*self.frontal_area_range)),
+        )
+        yaw = math.radians(float(rng.uniform(*self.mount_yaw_deg_range)))
+        return vehicle, yaw
+
+
+#: Named fleet cohorts. ``default`` is the paper's single test vehicle;
+#: ``mixed-fleet`` spans compact cars through SUVs with imperfect mounts.
+VEHICLE_COHORTS: dict[str, VehicleCohortSpec] = {
+    "default": VehicleCohortSpec(name="default"),
+    "mixed-fleet": VehicleCohortSpec(
+        name="mixed-fleet",
+        mass_range=(1150.0, 2250.0),
+        drag_coefficient_range=(0.27, 0.37),
+        frontal_area_range=(2.0, 2.9),
+        mount_yaw_deg_range=(-8.0, 8.0),
+    ),
+    "rideshare-sedans": VehicleCohortSpec(
+        name="rideshare-sedans",
+        mass_range=(1350.0, 1650.0),
+        drag_coefficient_range=(0.29, 0.33),
+        frontal_area_range=(2.1, 2.4),
+        mount_yaw_deg_range=(-3.0, 3.0),
+    ),
+}
+
+
+def vehicle_cohort_names() -> list[str]:
+    """Registered vehicle-cohort names, sorted."""
+    return sorted(VEHICLE_COHORTS)
+
+
+def vehicle_cohort(name: str) -> VehicleCohortSpec:
+    """Look a vehicle cohort up by name; unknown names fail loudly."""
+    try:
+        return VEHICLE_COHORTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown vehicle cohort {name!r}; valid vehicle cohorts are "
+            f"{vehicle_cohort_names()}"
+        ) from None

@@ -47,6 +47,10 @@ class DriverProfile:
         RMS of the road-roughness steering jitter [rad/s].
     speed_tracking_gain:
         P-gain [1/s] of the speed controller.
+    limit_utilization:
+        Fraction of a posted speed limit the driver actually targets
+        (1.05 = habitually 5% over). Only consulted where a limit is in
+        force, so the 1.0 default changes nothing on open roads.
     """
 
     name: str = "driver"
@@ -59,10 +63,13 @@ class DriverProfile:
     lane_changes_per_km: float = 0.5
     steering_noise_std: float = 0.006
     speed_tracking_gain: float = 0.35
+    limit_utilization: float = 1.0
 
     def __post_init__(self) -> None:
         if self.cruise_speed <= 0.0:
             raise ConfigurationError("cruise speed must be positive")
+        if self.limit_utilization <= 0.0:
+            raise ConfigurationError("limit utilization must be positive")
         if self.comfort_accel <= 0.0 or self.comfort_decel <= 0.0:
             raise ConfigurationError("comfort accelerations must be positive")
         if self.lane_change_duration <= 0.5:
@@ -115,14 +122,28 @@ class DriverModel:
     kinematics, not the controller internals.
     """
 
-    def __init__(self, profile: DriverProfile, rng: np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        profile: DriverProfile,
+        rng: np.random.Generator | None = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        if rng is None and seed is None:
+            raise ConfigurationError(
+                "DriverModel needs an explicit rng or seed=; an implicit "
+                "default would give every driver the identical random stream"
+            )
+        if rng is not None and seed is not None:
+            raise ConfigurationError("pass either rng or seed=, not both")
         self.profile = profile
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     def target_speed(self, curvature: float, speed_limit: float | None = None) -> float:
         """Preferred speed [m/s] given local curvature and an optional limit."""
         v = self.profile.cruise_speed if speed_limit is None else min(
-            self.profile.cruise_speed, speed_limit
+            self.profile.cruise_speed,
+            speed_limit * self.profile.limit_utilization,
         )
         kappa = abs(curvature)
         if kappa > 1e-6:

@@ -54,6 +54,12 @@ class SimulationConfig:
         signs): the driver brakes to a standstill at each position and
         holds for the duration. Exercises the v ~ 0 regime the estimators
         must survive.
+    speed_zones:
+        ``(s_start_m, s_end_m, limit_m_s)`` posted-limit zones (residential
+        / main-road / highway stretches of a trip plan). Inside a zone the
+        zone limit applies on top of ``speed_limit`` (the tighter of the
+        two wins); outside every zone only ``speed_limit`` applies. The
+        empty default changes nothing — the scenario layer's off-switch.
     """
 
     sample_rate: float = PHONE_SAMPLE_RATE_HZ
@@ -65,6 +71,7 @@ class SimulationConfig:
     lane_centering_gain: float = 0.02
     allow_lane_changes: bool = True
     stops: tuple[tuple[float, float], ...] = ()
+    speed_zones: tuple[tuple[float, float, float], ...] = ()
     max_duration_s: float = 3600.0 * 6
 
     def __post_init__(self) -> None:
@@ -75,6 +82,20 @@ class SimulationConfig:
         for position, duration in self.stops:
             if position < 0.0 or duration < 0.0:
                 raise ConfigurationError("stops need non-negative position/duration")
+        for lo, hi, limit in self.speed_zones:
+            if hi <= lo or lo < 0.0:
+                raise ConfigurationError("speed zones need 0 <= s_start < s_end")
+            if limit <= 0.0:
+                raise ConfigurationError("speed-zone limits must be positive")
+
+    def speed_limit_at(self, s: float) -> float | None:
+        """The posted limit in force at arc length ``s`` (``None`` = open)."""
+        limit = self.speed_limit
+        for lo, hi, zone_limit in self.speed_zones:
+            if lo <= s < hi:
+                limit = zone_limit if limit is None else min(limit, zone_limit)
+                break
+        return limit
 
 
 class _UniformSampler:
@@ -190,7 +211,7 @@ class TripSimulator:
             modulation = 1.0 + cfg.traffic_modulation * math.sin(
                 2.0 * math.pi * t / cfg.traffic_period_s + traffic_phase
             )
-            v_target = self.driver.target_speed(curvature, cfg.speed_limit) * modulation
+            v_target = self.driver.target_speed(curvature, cfg.speed_limit_at(s)) * modulation
 
             # --- stop events (traffic lights / stop signs) -----------------
             brake_cmd: float | None = None

@@ -1,0 +1,12 @@
+"""Scenario-library fixtures: the paper's red route, session-scoped."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.charlottesville import red_route
+
+
+@pytest.fixture(scope="session")
+def red_profile():
+    return red_route()

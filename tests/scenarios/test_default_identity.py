@@ -1,0 +1,62 @@
+"""The default scenario is a proven no-op.
+
+Attaching ``ScenarioConfig()`` to a runner must change *nothing* — not
+"statistically nothing", bit-for-bit nothing. This pin is what lets every
+historical benchmark number and regression baseline survive the scenario
+layer unchanged, and what makes the grid's default column directly
+comparable with the resilience matrix.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.eval.runner import RunnerConfig, simulate_recording
+from repro.scenarios import ScenarioConfig
+
+
+def _assert_signals_equal(a, b, label):
+    assert np.array_equal(a.t, b.t), label
+    assert np.array_equal(a.values, b.values, equal_nan=True), label
+    assert np.array_equal(a.valid, b.valid), label
+
+
+class TestDefaultScenarioIdentity:
+    def test_recording_is_bit_identical(self, red_profile):
+        base = RunnerConfig(seed=3)
+        scenario = dataclasses.replace(base, scenario=ScenarioConfig())
+
+        for index in (0, 1):
+            trace_a, rec_a = simulate_recording(red_profile, base, index)
+            trace_b, rec_b = simulate_recording(red_profile, scenario, index)
+
+            for f in dataclasses.fields(trace_a):
+                va, vb = getattr(trace_a, f.name), getattr(trace_b, f.name)
+                if isinstance(va, np.ndarray):
+                    assert np.array_equal(va, vb, equal_nan=True), f.name
+                else:
+                    assert va == vb, f.name
+
+            for name in (
+                "accel_long",
+                "accel_lat",
+                "gyro",
+                "speedometer",
+                "barometer",
+                "canbus",
+            ):
+                _assert_signals_equal(
+                    getattr(rec_a, name), getattr(rec_b, name), name
+                )
+            assert np.array_equal(rec_a.t, rec_b.t)
+            assert rec_a.mounting_yaw_true == rec_b.mounting_yaw_true
+            assert np.array_equal(rec_a.gps.t, rec_b.gps.t)
+            assert np.array_equal(rec_a.gps.x, rec_b.gps.x, equal_nan=True)
+            assert np.array_equal(rec_a.gps.y, rec_b.gps.y, equal_nan=True)
+
+    def test_noop_detection(self):
+        assert ScenarioConfig().is_noop
+        assert not ScenarioConfig().with_driver("normal").is_noop
+
+    def test_default_keeps_the_callers_route(self, red_profile):
+        assert ScenarioConfig().route_for(red_profile) is red_profile

@@ -1,0 +1,231 @@
+"""Scenario spec contracts: registries, validation, serialization.
+
+Property-based round-trips (hypothesis) cover the whole valid parameter
+space of every scenario dataclass — a field that silently fails to
+survive ``from_dict(to_dict(cfg))`` breaks equality for *some* draw, not
+just the defaults.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.eval.grid import ScenarioGridConfig
+from repro.scenarios import (
+    DRIVER_STYLES,
+    SCENARIOS,
+    TRIP_PLANS,
+    VEHICLE_COHORTS,
+    DriverSpec,
+    ScenarioConfig,
+    TripPlanSpec,
+    VehicleCohortSpec,
+    driver_spec,
+    driver_style_names,
+    scenario_by_name,
+    scenario_names,
+    trip_plan,
+    trip_plan_names,
+    vehicle_cohort,
+    vehicle_cohort_names,
+)
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+
+def ordered_range(lo, hi):
+    """Strategy for a valid ``(lo, hi)`` tuple inside ``[lo, hi]``."""
+    return (
+        st.tuples(st.floats(lo, hi, **finite), st.floats(lo, hi, **finite))
+        .map(sorted)
+        .map(tuple)
+    )
+
+
+driver_specs = st.builds(
+    DriverSpec,
+    style=st.sampled_from(["legacy", "safe", "normal", "aggressive", "custom"]),
+    open_road_speed=st.floats(5.0, 40.0, **finite),
+    speed_bias=st.floats(0.5, 1.5, **finite),
+    speed_jitter=st.floats(0.0, 0.5, **finite),
+    tracking_gain=st.floats(0.1, 1.0, **finite),
+    comfort_accel=st.floats(0.5, 4.0, **finite),
+    comfort_decel=st.floats(0.5, 4.0, **finite),
+    lane_changes_per_km=st.one_of(st.none(), st.floats(0.0, 5.0, **finite)),
+    steering_noise_std=st.floats(0.0, 0.05, **finite),
+    duration_range=ordered_range(1.0, 8.0),
+    asymmetry_range=ordered_range(0.5, 1.5),
+)
+
+trip_plan_specs = st.builds(
+    TripPlanSpec,
+    name=st.sampled_from(["a", "b", "plan"]),
+    zones=st.lists(
+        st.sampled_from(["residential", "main", "highway"]), max_size=5
+    ).map(tuple),
+    zone_length_m=st.floats(150.0, 900.0, **finite),
+    sections_per_zone=st.integers(1, 4),
+    stop_duration_s=st.floats(0.0, 20.0, **finite),
+)
+
+vehicle_cohort_specs = st.builds(
+    VehicleCohortSpec,
+    name=st.sampled_from(["a", "b", "fleet"]),
+    mass_range=ordered_range(800.0, 3000.0),
+    drag_coefficient_range=ordered_range(0.2, 0.5),
+    frontal_area_range=ordered_range(1.5, 3.5),
+    mount_yaw_deg_range=ordered_range(-45.0, 45.0),
+)
+
+scenario_configs = st.builds(
+    ScenarioConfig,
+    name=st.sampled_from(["a", "b", "scn"]),
+    driver=driver_specs,
+    trip_plan=trip_plan_specs,
+    vehicles=vehicle_cohort_specs,
+    seed=st.integers(0, 2**31 - 1),
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "strategy",
+        [driver_specs, trip_plan_specs, vehicle_cohort_specs, scenario_configs],
+        ids=["DriverSpec", "TripPlanSpec", "VehicleCohortSpec", "ScenarioConfig"],
+    )
+    def test_json_round_trip_is_identity(self, strategy):
+        @given(strategy)
+        @settings(max_examples=40, deadline=None)
+        def check(cfg):
+            data = json.loads(json.dumps(cfg.to_dict()))
+            assert type(cfg).from_dict(data) == cfg
+
+        check()
+
+    def test_grid_config_round_trips(self):
+        cfg = ScenarioGridConfig(
+            scenarios=("default",), drivers=("safe", "normal"), severities=(1.0,)
+        )
+        assert ScenarioGridConfig.from_dict(json.loads(cfg.to_json())) == cfg
+
+    def test_registry_entries_round_trip(self):
+        for registry, cls in (
+            (SCENARIOS, ScenarioConfig),
+            (DRIVER_STYLES, DriverSpec),
+            (TRIP_PLANS, TripPlanSpec),
+            (VEHICLE_COHORTS, VehicleCohortSpec),
+        ):
+            for cfg in registry.values():
+                assert cls.from_dict(json.loads(cfg.to_json())) == cfg
+
+
+class TestErrorMessages:
+    def test_unknown_scenario_key_lists_registries(self):
+        with pytest.raises(ConfigurationError, match="stop_densty") as excinfo:
+            ScenarioConfig.from_dict({"stop_densty": 2})
+        message = str(excinfo.value)
+        # Everything needed to fix a typo'd sweep file, in one message:
+        # the valid keys plus every registry the values may name.
+        for key in ("name", "driver", "trip_plan", "vehicles", "seed"):
+            assert key in message
+        for name in scenario_names():
+            assert name in message
+        for name in driver_style_names():
+            assert name in message
+        for name in trip_plan_names():
+            assert name in message
+
+    def test_unknown_registry_names_fail_listing_alternatives(self):
+        for lookup, names in (
+            (scenario_by_name, scenario_names()),
+            (driver_spec, driver_style_names()),
+            (trip_plan, trip_plan_names()),
+            (vehicle_cohort, vehicle_cohort_names()),
+        ):
+            with pytest.raises(ConfigurationError, match="warp-speed") as excinfo:
+                lookup("warp-speed")
+            message = str(excinfo.value)
+            for name in names:
+                assert name in message
+
+    def test_string_shorthand_resolves_registry_names(self):
+        cfg = ScenarioConfig.from_dict(
+            {
+                "driver": "aggressive",
+                "trip_plan": "highway-run",
+                "vehicles": "mixed-fleet",
+            }
+        )
+        assert cfg.driver == driver_spec("aggressive")
+        assert cfg.trip_plan == trip_plan("highway-run")
+        assert cfg.vehicles == vehicle_cohort("mixed-fleet")
+
+    def test_string_shorthand_rejects_unknown_names(self):
+        with pytest.raises(ConfigurationError, match="no-such-style"):
+            ScenarioConfig.from_dict({"driver": "no-such-style"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            ScenarioConfig.from_dict(["not", "a", "dict"])
+
+
+class TestValidation:
+    def test_driver_spec_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            DriverSpec(style="")
+        with pytest.raises(ConfigurationError):
+            DriverSpec(speed_bias=0.0)
+        with pytest.raises(ConfigurationError):
+            DriverSpec(speed_jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            DriverSpec(duration_range=(3.0, 2.0))
+
+    def test_trip_plan_rejects_unknown_zone_kind(self):
+        with pytest.raises(ConfigurationError, match="residential"):
+            TripPlanSpec(zones=("residential", "autobahn"))
+
+    def test_cohort_rejects_bad_ranges(self):
+        with pytest.raises(ConfigurationError):
+            VehicleCohortSpec(mass_range=(2000.0, 1000.0))
+        with pytest.raises(ConfigurationError, match="45"):
+            VehicleCohortSpec(mount_yaw_deg_range=(-60.0, 60.0))
+
+    def test_grid_config_rejects_unknown_axes(self):
+        with pytest.raises(ConfigurationError, match="meteor-strike"):
+            ScenarioGridConfig(scenarios=("default", "meteor-strike"))
+        with pytest.raises(ConfigurationError, match="warp"):
+            ScenarioGridConfig(drivers=("warp",))
+        with pytest.raises(ConfigurationError, match="meteor_strike"):
+            ScenarioGridConfig(fault_kinds=("meteor_strike",))
+        with pytest.raises(ConfigurationError):
+            ScenarioGridConfig(severities=(1.0, -2.0))
+        with pytest.raises(ConfigurationError):
+            ScenarioGridConfig(scenarios=())
+
+
+class TestRegistries:
+    def test_default_scenario_is_noop(self):
+        assert SCENARIOS["default"].is_noop
+        assert ScenarioConfig().is_noop
+
+    def test_named_scenarios_are_not_noops(self):
+        for name, scn in SCENARIOS.items():
+            if name != "default":
+                assert not scn.is_noop, name
+
+    def test_with_driver_swaps_only_the_driver(self):
+        scn = scenario_by_name("suburban-commute").with_driver("aggressive")
+        assert scn.driver == driver_spec("aggressive")
+        assert scn.trip_plan == SCENARIOS["suburban-commute"].trip_plan
+        assert scn.vehicles == SCENARIOS["suburban-commute"].vehicles
+
+    def test_grid_defaults_resolve(self):
+        cfg = ScenarioGridConfig()
+        assert cfg.n_cells == 3 * 3 * 3 * 2
+        for name in cfg.scenarios:
+            scenario_by_name(name)
+        for name in cfg.drivers:
+            driver_spec(name)

@@ -57,31 +57,31 @@ class TestCohort:
 
 class TestDriverModel:
     def test_target_speed_straight(self):
-        model = DriverModel(DriverProfile())
+        model = DriverModel(DriverProfile(), seed=0)
         assert model.target_speed(0.0) == pytest.approx(40.0 * KMH)
 
     def test_target_speed_limited_by_curvature(self):
-        model = DriverModel(DriverProfile())
+        model = DriverModel(DriverProfile(), seed=0)
         tight = model.target_speed(0.05)  # 20 m radius corner
         assert tight < model.target_speed(0.0)
         assert tight == pytest.approx(np.sqrt(2.0 / 0.05), rel=0.01)
 
     def test_target_speed_respects_limit(self):
-        model = DriverModel(DriverProfile())
+        model = DriverModel(DriverProfile(), seed=0)
         assert model.target_speed(0.0, speed_limit=8.0) == 8.0
 
     def test_target_speed_floor(self):
-        model = DriverModel(DriverProfile())
+        model = DriverModel(DriverProfile(), seed=0)
         assert model.target_speed(10.0) >= 2.0
 
     def test_accel_clipped_to_comfort(self):
         profile = DriverProfile(comfort_accel=1.5, comfort_decel=2.0)
-        model = DriverModel(profile)
+        model = DriverModel(profile, seed=0)
         assert model.longitudinal_accel(0.0, 100.0) == 1.5
         assert model.longitudinal_accel(100.0, 0.0) == -2.0
 
     def test_accel_proportional_in_band(self):
-        model = DriverModel(DriverProfile(speed_tracking_gain=0.5))
+        model = DriverModel(DriverProfile(speed_tracking_gain=0.5), seed=0)
         assert model.longitudinal_accel(10.0, 11.0) == pytest.approx(0.5)
 
     def test_lane_change_probability_scales(self):
@@ -91,7 +91,7 @@ class TestDriverModel:
         assert np.mean(draws) == pytest.approx(0.5, abs=0.05)
 
     def test_zero_rate_never_changes(self):
-        model = DriverModel(DriverProfile(lane_changes_per_km=0.0))
+        model = DriverModel(DriverProfile(lane_changes_per_km=0.0), seed=0)
         assert not any(model.wants_lane_change(10.0) for _ in range(100))
 
     def test_plan_maneuver_hits_lane_width(self):
