@@ -2,19 +2,36 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check lint test fast test-faults test-scenarios coverage bench-smoke bench bench-batch bench-faults bench-scenarios profile benchtrack benchtrack-report
+.PHONY: check lint lint-rules typecheck metric-names test fast test-faults test-scenarios coverage bench-smoke bench bench-batch bench-faults bench-scenarios profile benchtrack benchtrack-report
 
 # Fast-lane coverage floor enforced in the CI PR lane (see ci.yml):
 # measured 94.6% line coverage over src/repro, floored at measured - 1.
 COV_FLOOR := 93
 
-check: lint test bench-smoke
+check: lint lint-rules typecheck test bench-smoke
 
 lint:
 	@command -v ruff >/dev/null 2>&1 \
 		&& ruff check src tests benchmarks \
 		|| { echo "ruff not installed; falling back to a syntax/compile check"; \
 		     python -m compileall -q src tests benchmarks; }
+
+# Project-specific invariants (determinism, config serializability, stage
+# and metric-name contracts) — pure stdlib, so no fallback path needed.
+lint-rules:
+	PYTHONPATH=src python -m repro.lint src/
+
+# Strictness per the ratchet table in pyproject.toml; CI installs mypy,
+# locally the target degrades to a notice when it is absent.
+typecheck:
+	@command -v mypy >/dev/null 2>&1 \
+		&& mypy \
+		|| echo "mypy not installed; the typing gate runs in CI (pip install mypy to run locally)"
+
+# Regenerate src/repro/obs/metric_names.py from the emission sites; the
+# lint-rules gate (RL004) and tests/lint/test_live_tree.py keep it fresh.
+metric-names:
+	PYTHONPATH=src python -m repro.lint --write-metric-names src/repro
 
 test:
 	$(PYTEST) -x -q

@@ -22,7 +22,7 @@ never drift apart numerically.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -71,12 +71,23 @@ class GradientEKFConfig(SerializableConfig):
     initial_speed_std: float = 1.5
     initial_grade_std: float = math.radians(3.0)
     smooth: bool = False
-    measurement_std: dict = field(default_factory=dict)
+    measurement_std: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Dict input is the ergonomic form ({"gps": 0.4}); normalize to
+        # sorted (name, std) pairs so the stored config is immutable data
+        # and two specs with the same overrides compare equal.
+        if isinstance(self.measurement_std, dict):
+            pairs = sorted(self.measurement_std.items())
+        else:
+            pairs = list(self.measurement_std)
+        self.measurement_std = tuple((str(k), float(v)) for k, v in pairs)
 
     def std_for(self, source_name: str) -> float:
         """Measurement noise std for a velocity source by signal name."""
-        if source_name in self.measurement_std:
-            return float(self.measurement_std[source_name])
+        for name, std in self.measurement_std:
+            if name == source_name:
+                return std
         return _DEFAULT_MEASUREMENT_STD.get(source_name, _FALLBACK_MEASUREMENT_STD)
 
 

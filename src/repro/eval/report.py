@@ -41,6 +41,7 @@ def _table(headers: list[str], rows: list[list]) -> str:
 
 def build_report(seed: int = 3, n_trips: int = 2, network_km: float = 60.0) -> str:
     """Run the headline experiments and return the markdown report."""
+    # reprolint: disable=RL001 -- report generation wall time is display-only
     started = time.time()
     route = red_route()
     cfg = RunnerConfig(n_trips=n_trips, seed=seed)
@@ -114,6 +115,7 @@ def build_report(seed: int = 3, n_trips: int = 2, network_km: float = 60.0) -> s
               d.precision, d.recall, d.f1]],
         ),
         "",
+        # reprolint: disable=RL001 -- report generation wall time is display-only
         f"_Report generated in {time.time() - started:.1f} s._",
         "",
     ]

@@ -287,6 +287,7 @@ class BarometerDriftStep:
 
     def __post_init__(self) -> None:
         _check_window(self.kind, self.start_s, 1.0)
+        # reprolint: disable=RL005 -- exact sentinel: zero step means "fault disabled", never computed
         if not np.isfinite(self.step) or self.step == 0.0:
             raise FaultInjectionError(
                 f"{self.kind}: step must be finite and non-zero, got {self.step}"

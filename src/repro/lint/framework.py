@@ -1,0 +1,418 @@
+"""`reprolint` core: findings, suppressions, baselines, and the rule runner.
+
+The estimation platform leans on invariants nothing in the language
+enforces — determinism in ``(seed, trip_index)``, JSON-round-trippable
+configs, registered pipeline stages, a closed metric-name vocabulary.
+``reprolint`` turns those conventions into machine-checked rules over the
+Python AST, the same way a race detector turns a locking discipline into a
+CI gate.
+
+Architecture
+------------
+* :class:`FileContext` — one parsed source file (path, text, AST,
+  suppressions) handed to every rule.
+* :class:`Rule` — per-file rule: ``check(ctx)`` yields :class:`Finding`.
+* :class:`ProjectRule` — whole-tree rule: ``check_project(ctxs)`` sees every
+  scanned file at once (cross-file contracts such as stage registration).
+* :data:`RULE_REGISTRY` / :func:`register_rule` — code → rule instance, the
+  same registry idiom as ``STAGE_REGISTRY``.
+* :func:`lint_paths` — walk files, parse once, run rules, apply inline
+  suppressions and an optional baseline, return a :class:`LintReport`.
+
+Suppressions
+------------
+A finding is silenced by an inline comment on the offending line (or on a
+standalone comment line directly above it)::
+
+    t0 = time.time()  # reprolint: disable=RL001 -- wall clock is the point
+
+The text after ``--`` is the *justification*; a disable comment without one
+is itself reported (rule ``RL007``), so suppressions stay auditable.
+``# reprolint: disable-file=RL004 -- reason`` anywhere in a file silences a
+rule file-wide.
+
+Baselines
+---------
+``load_baseline`` / ``write_baseline`` persist finding fingerprints (hash of
+path + rule + normalized source line, so plain line drift does not
+invalidate them). The CLI's ``--baseline`` filters known findings, letting a
+new rule land before the tree is fully clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "LintReport",
+    "RULE_REGISTRY",
+    "register_rule",
+    "iter_source_files",
+    "parse_file",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "BASELINE_SCHEMA",
+]
+
+#: Rule code grammar: ``RL`` + 3 digits (RL000 is reserved for file errors).
+RULE_CODE_RE = re.compile(r"^RL\d{3}$")
+
+#: Inline suppression comment. Examples::
+#:     # reprolint: disable=RL001 -- wall-clock timestamp is the point
+#:     # reprolint: disable=RL002,RL005
+#:     # reprolint: disable-file=RL004 -- generated registry module
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>RL\d{3}(?:\s*,\s*RL\d{3})*)"
+    r"(?:\s*--\s*(?P<why>\S.*?))?\s*$"
+)
+
+BASELINE_SCHEMA = "repro.lint_baseline/v1"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: path + rule + normalized line.
+
+        Deliberately excludes the line *number* so renumbering churn does
+        not invalidate a baseline entry.
+        """
+        norm = " ".join(self.snippet.split())
+        raw = f"{self.path}::{self.rule}::{norm}"
+        return hashlib.sha1(raw.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# reprolint: disable`` comment."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    file_wide: bool
+    justification: str | None
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+
+class FileContext:
+    """One source file, parsed once and shared by every rule."""
+
+    def __init__(self, path: Path, source: str, *, library: bool | None = None) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: ast.AST | None = None
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
+        if library is None:
+            skip = {"tests", "test", "benchmarks", "examples", "fixtures"}
+            library = not any(part in skip for part in path.parts)
+        #: Library code gets the strict rules (RL001/RL005); test and
+        #: benchmark code is exempt from determinism policing.
+        self.library = library
+        self.suppressions = _parse_suppressions(path, self.lines)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(
+        self, rule: str, node: ast.AST | int, message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node (or a raw line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=str(self.path),
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.line_text(line).strip(),
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Is this finding silenced by an inline or file-wide suppression?"""
+        for sup in self.suppressions:
+            if finding.rule not in sup.rules:
+                continue
+            if sup.file_wide:
+                return True
+            # Same line, or within the contiguous comment block directly
+            # above it (multi-line justifications are encouraged).
+            if sup.line == finding.line:
+                return True
+            if sup.line < finding.line:
+                between = range(sup.line, finding.line)
+                if all(
+                    self.line_text(i).lstrip().startswith("#") for i in between
+                ):
+                    return True
+        return False
+
+
+def _parse_suppressions(path: Path, lines: list[str]) -> list[Suppression]:
+    found: list[Suppression] = []
+    for i, text in enumerate(lines, start=1):
+        if "reprolint" not in text:
+            continue
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        if "#" in text[: m.start()]:
+            continue  # commented-out example, not a live suppression
+        rules = tuple(r.strip() for r in m.group("rules").split(","))
+        found.append(
+            Suppression(
+                path=str(path),
+                line=i,
+                rules=rules,
+                file_wide=m.group("scope") == "disable-file",
+                justification=m.group("why"),
+            )
+        )
+    return found
+
+
+class Rule:
+    """Base class for per-file rules.
+
+    Subclasses set ``code`` (``RLxxx``), ``name`` (kebab-case slug) and
+    ``description``, and implement :meth:`check` yielding findings. The
+    runner applies suppressions and baseline filtering afterwards, so rules
+    just report everything they see.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the override a generator too
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.code} {self.name}>"
+
+
+class ProjectRule(Rule):
+    """A rule needing the whole scanned tree (cross-file contracts)."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, ctxs: list[FileContext]) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+#: code -> rule instance; populated by :func:`register_rule` at import time.
+RULE_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule under its code.
+
+    Re-registering a code replaces the rule (handy in tests), mirroring
+    :func:`~repro.core.stages.register_stage`.
+    """
+    rule = rule_cls()
+    if not RULE_CODE_RE.match(rule.code):
+        raise ConfigurationError(
+            f"rule code {rule.code!r} does not match RLxxx (class "
+            f"{rule_cls.__name__})"
+        )
+    if not rule.name:
+        raise ConfigurationError(f"rule {rule.code} needs a kebab-case name")
+    RULE_REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def iter_source_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        else:
+            candidates = []
+        for file in candidates:
+            if "__pycache__" in file.parts or file in seen:
+                continue
+            seen.add(file)
+            yield file
+
+
+def parse_file(path: str | Path, *, library: bool | None = None) -> FileContext:
+    """Read and parse one file into a :class:`FileContext`."""
+    p = Path(path)
+    return FileContext(p, p.read_text(encoding="utf-8"), library=library)
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    baselined: list[Finding]
+    files: int
+    rules: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": "repro.lint_report/v1",
+            "files": self.files,
+            "rules": list(self.rules),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+        }
+
+
+def _select_rules(select: Iterable[str] | None) -> list[Rule]:
+    if select is None:
+        return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
+    chosen = []
+    for code in select:
+        if code not in RULE_REGISTRY:
+            raise ConfigurationError(
+                f"unknown rule {code!r}; registered rules are "
+                f"{sorted(RULE_REGISTRY)}"
+            )
+        chosen.append(RULE_REGISTRY[code])
+    return chosen
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    baseline: set[str] | None = None,
+    force_library: bool = False,
+) -> LintReport:
+    """Run the selected rules over every ``.py`` file under ``paths``.
+
+    ``force_library=True`` treats every file as library code regardless of
+    its path (used by the fixture self-tests, which live under ``tests/``).
+    Files that fail to parse yield an ``RL000`` finding rather than
+    aborting the run.
+    """
+    rules = _select_rules(select)
+    ctxs: list[FileContext] = []
+    findings: list[Finding] = []
+    for file in iter_source_files(paths):
+        ctx = parse_file(file, library=True if force_library else None)
+        ctxs.append(ctx)
+        if ctx.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule="RL000",
+                    path=str(file),
+                    line=ctx.parse_error.lineno or 1,
+                    col=ctx.parse_error.offset or 0,
+                    message=f"file does not parse: {ctx.parse_error.msg}",
+                )
+            )
+
+    for ctx in ctxs:
+        if ctx.parse_error is not None:
+            continue
+        for rule in rules:
+            findings.extend(rule.check(ctx))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(ctxs))
+
+    by_path = {str(c.path): c for c in ctxs}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        ctx = by_path.get(finding.path)
+        if finding.rule != "RL000" and ctx is not None and ctx.suppressed(finding):
+            suppressed.append(finding)
+        elif baseline and finding.fingerprint() in baseline:
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(
+        findings=kept,
+        suppressed=suppressed,
+        baselined=baselined,
+        files=len(ctxs),
+        rules=tuple(r.code for r in rules),
+    )
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file into a set of finding fingerprints."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"baseline {path} is not a {BASELINE_SCHEMA} document"
+        )
+    return set(data.get("fingerprints", []))
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> dict[str, object]:
+    """Persist the given findings' fingerprints as a baseline document."""
+    doc: dict[str, object] = {
+        "schema": BASELINE_SCHEMA,
+        "fingerprints": sorted({f.fingerprint() for f in findings}),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

@@ -38,10 +38,12 @@ Metrics extracted per artifact
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 from ..config import SerializableConfig
 from ..errors import ConfigurationError
@@ -103,6 +105,7 @@ class RegressionRule(SerializableConfig):
                 f"{self.metric}: {current:.4g} below absolute floor "
                 f"{self.min_value:.4g}"
             )
+        # reprolint: disable=RL005 -- exact zero-division guard, not a tolerance check
         if previous is None or previous == 0.0:
             return None
         change = (current - previous) / abs(previous)
@@ -161,7 +164,7 @@ DEFAULT_RULES: tuple[RegressionRule, ...] = (
 )
 
 
-def _read_json(path: Path):
+def _read_json(path: Path) -> dict | list | float | None:
     try:
         return json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
@@ -259,6 +262,7 @@ def append_history(path: str | Path, metrics: dict, ts: float | None = None) -> 
     """Append one schema'd entry to the history; returns the entry."""
     entry = {
         "schema": SCHEMA,
+        # reprolint: disable=RL001 -- history entries are timestamped by design; ts= injects a clock
         "ts": time.time() if ts is None else float(ts),
         "git_sha": git_revision(),
         "metrics": {k: metrics[k] for k in sorted(metrics)},
@@ -314,13 +318,13 @@ def _load_rules(path: str) -> tuple[RegressionRule, ...]:
     return tuple(RegressionRule.from_dict(d) for d in raw)
 
 
-def _cmd_collect(bench_dir: Path, args) -> int:
+def _cmd_collect(bench_dir: Path, args: "argparse.Namespace") -> int:
     metrics = collect_metrics(bench_dir)
     print(json.dumps(metrics, indent=2, sort_keys=True))
     return 0
 
 
-def _cmd_check(bench_dir: Path, args) -> int:
+def _cmd_check(bench_dir: Path, args: "argparse.Namespace") -> int:
     metrics = collect_metrics(bench_dir)
     if not metrics:
         print(f"benchtrack: no bench artifacts found in {bench_dir}")
@@ -353,7 +357,7 @@ def _cmd_check(bench_dir: Path, args) -> int:
     return 0
 
 
-def _cmd_report(bench_dir: Path, args) -> int:
+def _cmd_report(bench_dir: Path, args: "argparse.Namespace") -> int:
     from .export import format_span_tree
 
     metrics = collect_metrics(bench_dir)
@@ -421,9 +425,7 @@ def _cmd_report(bench_dir: Path, args) -> int:
     return 0
 
 
-def _main(argv=None) -> int:
-    import argparse
-
+def _main(argv: "Sequence[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.benchtrack",
         description="Track benchmark history and gate on regressions.",

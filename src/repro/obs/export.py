@@ -112,7 +112,7 @@ def _prom_labels(labels: dict) -> str:
     return "{" + inner + "}"
 
 
-def _prom_value(value) -> str:
+def _prom_value(value: float | int) -> str:
     v = float(value)
     if v != v:
         return "NaN"
@@ -179,7 +179,7 @@ def write_prometheus(source: Telemetry | dict, path: str | Path) -> Path:
 # -- terminal span-tree rendering ----------------------------------------------
 
 
-def _span_dict(span) -> dict:
+def _span_dict(span: Span | dict) -> dict:
     """Normalize a live ``Span`` or an exported span dict."""
     if isinstance(span, dict):
         return span
@@ -191,7 +191,7 @@ def _span_dict(span) -> dict:
     }
 
 
-def _format_span(span, indent: int, lines: list[str]) -> None:
+def _format_span(span: Span | dict, indent: int, lines: list[str]) -> None:
     d = _span_dict(span)
     dur = d.get("duration_s") or 0.0
     attrs = d.get("attributes") or {}

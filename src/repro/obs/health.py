@@ -38,11 +38,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from ..config import SerializableConfig
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from .telemetry import Telemetry
 
 __all__ = [
     "VERDICTS",
@@ -177,7 +181,7 @@ class HealthFlag:
         return out
 
 
-def _worst(verdicts) -> str:
+def _worst(verdicts: "Iterable[str]") -> str:
     worst = "ok"
     for v in verdicts:
         if v == "diverged":
@@ -205,7 +209,7 @@ class TrackHealth:
         return _worst(f.severity for f in self.flags)
 
     def to_dict(self) -> dict:
-        def _num(x: float):
+        def _num(x: float) -> float | None:
             return None if not math.isfinite(x) else round(float(x), 6)
 
         return {
@@ -310,7 +314,7 @@ class HealthMonitor:
     def __init__(
         self,
         config: HealthConfig | None = None,
-        telemetry=None,
+        telemetry: "Telemetry | None" = None,
         p22_initial: float | None = None,
     ) -> None:
         self.config = config or HealthConfig()
@@ -358,7 +362,7 @@ class HealthMonitor:
 
     # -- raw-input screen ---------------------------------------------------
 
-    def check_recording(self, recording) -> list[HealthFlag]:
+    def check_recording(self, recording: object) -> list[HealthFlag]:
         """Screen a raw recording for input pathologies; returns new flags."""
         cfg = self.config
         flags: list[HealthFlag] = []
@@ -719,7 +723,7 @@ class StreamingHealthMonitor:
             elif mean > self._bound:
                 self._flag_once("nis", "suspect", mean, self._bound)
 
-    def record_tick(self, core, updated: bool) -> None:
+    def record_tick(self, core: object, updated: bool) -> None:
         """Per-tick watchdogs, reading (never writing) the filter core."""
         cfg = self.config
         if updated:

@@ -78,7 +78,7 @@ class KeyValueFormatter(logging.Formatter):
         return " ".join(parts)
 
 
-def _json_safe(value):
+def _json_safe(value: object) -> object:
     # Non-finite floats have no strict-JSON encoding; stringify them so the
     # divergence event (whose whole point is reporting NaN state) stays
     # parseable by jq and non-Python consumers.

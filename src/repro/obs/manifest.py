@@ -44,7 +44,7 @@ def git_revision(cwd: str | Path | None = None) -> str | None:
     return sha if out.returncode == 0 and sha else None
 
 
-def _config_dict(config) -> dict | None:
+def _config_dict(config: object) -> dict | None:
     """Serialize a config via ``to_dict`` (tolerating plain dicts/None)."""
     if config is None:
         return None
@@ -60,7 +60,7 @@ def _config_dict(config) -> dict | None:
 
 
 def build_manifest(
-    config=None,
+    config: object = None,
     seed: int | None = None,
     metrics: dict | None = None,
     health: dict | None = None,
@@ -87,7 +87,7 @@ def build_manifest(
     return manifest
 
 
-def write_manifest(path, **kwargs) -> Path:
+def write_manifest(path: "str | Path", **kwargs: object) -> Path:
     """Build and persist a manifest as pretty-printed JSON; returns the path."""
     manifest = build_manifest(**kwargs)
     path = Path(path)

@@ -34,6 +34,7 @@ were observed in one registry or merged from many.
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
 import numpy as np
 
@@ -168,7 +169,7 @@ class Histogram:
         code = _bucket_code(value)
         self.buckets[code] = self.buckets.get(code, 0) + 1
 
-    def observe_many(self, values) -> None:
+    def observe_many(self, values: "Iterable[float] | np.ndarray") -> None:
         arr = np.asarray(values, dtype=float).ravel()
         if arr.size == 0:
             return

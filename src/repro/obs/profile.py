@@ -29,6 +29,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
 
 __all__ = ["Profiler", "SectionStats"]
 
@@ -99,7 +100,7 @@ class Profiler:
         self._malloc_depth = 0
 
     @contextmanager
-    def section(self, name: str):
+    def section(self, name: str) -> "Iterator[Profiler]":
         """Time one region under ``name`` (re-entrant across threads)."""
         snap = None
         if self.trace_malloc:
@@ -136,7 +137,7 @@ class Profiler:
                     stats.max_wall_s = wall
 
     @contextmanager
-    def install(self):
+    def install(self) -> "Iterator[Profiler]":
         """Wrap every registered pipeline stage in a profiled section.
 
         Swaps each :data:`~repro.core.stages.STAGE_REGISTRY` factory for
@@ -149,8 +150,8 @@ class Profiler:
         saved = dict(_stages.STAGE_REGISTRY)
         profiler = self
 
-        def _wrap(factory):
-            def build(system):
+        def _wrap(factory: "Callable[[object], object]") -> "Callable[[object], object]":
+            def build(system: object) -> "_ProfiledStage":
                 return _ProfiledStage(factory(system), profiler)
 
             return build
@@ -216,20 +217,20 @@ class Profiler:
 class _ProfiledStage:
     """Transparent stage wrapper timing ``run`` under ``stage.<name>``."""
 
-    def __init__(self, inner, profiler: Profiler) -> None:
+    def __init__(self, inner: object, profiler: Profiler) -> None:
         self._inner = inner
         self._profiler = profiler
         self.name = inner.name
 
-    def run(self, ctx):
+    def run(self, ctx: object) -> object:
         with self._profiler.section(f"stage.{self.name}"):
             return self._inner.run(ctx)
 
-    def __getattr__(self, attr):
+    def __getattr__(self, attr: str) -> object:
         return getattr(self._inner, attr)
 
 
-def _main(argv=None) -> int:
+def _main(argv: "Sequence[str] | None" = None) -> int:
     """CLI demo: profile a small red-route evaluation (``make profile``)."""
     import argparse
     import json

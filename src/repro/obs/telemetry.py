@@ -16,6 +16,8 @@ two based on the ``REPRO_TELEMETRY`` environment switch.
 from __future__ import annotations
 
 import logging as _stdlib_logging
+from types import TracebackType
+from typing import Iterable
 
 from .logging import get_logger, telemetry_enabled
 from .metrics import MetricsRegistry
@@ -42,7 +44,7 @@ class Telemetry:
 
     # -- tracing -------------------------------------------------------------
 
-    def span(self, name: str, **attributes) -> Span:
+    def span(self, name: str, **attributes: object) -> Span:
         """A context-manager span nested under the currently open one."""
         return self.tracer.span(name, **attributes)
 
@@ -57,12 +59,14 @@ class Telemetry:
     def observe(self, name: str, value: float, labels: dict | None = None) -> None:
         self.metrics.histogram(name, labels).observe(value)
 
-    def observe_many(self, name: str, values, labels: dict | None = None) -> None:
+    def observe_many(
+        self, name: str, values: "Iterable[float]", labels: dict | None = None
+    ) -> None:
         self.metrics.histogram(name, labels).observe_many(values)
 
     # -- structured events ---------------------------------------------------
 
-    def event(self, name: str, level: int = _stdlib_logging.INFO, **fields) -> None:
+    def event(self, name: str, level: int = _stdlib_logging.INFO, **fields: object) -> None:
         """Emit one structured log record (``key=value`` or JSON line)."""
         self.log.log(level, name, extra={"fields": fields})
 
@@ -86,10 +90,15 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: "TracebackType | None",
+    ) -> bool:
         return False
 
-    def set(self, **attributes) -> "_NullSpan":
+    def set(self, **attributes: object) -> "_NullSpan":
         return self
 
 
@@ -114,7 +123,7 @@ class NullTelemetry(Telemetry):
     def __init__(self, name: str = "null") -> None:
         super().__init__(name=name, logger=_null_logger)
 
-    def span(self, name: str, **attributes) -> Span:  # type: ignore[override]
+    def span(self, name: str, **attributes: object) -> Span:  # type: ignore[override]
         return _NULL_SPAN  # type: ignore[return-value]
 
     def count(self, name: str, n: int = 1, labels: dict | None = None) -> None:
@@ -126,10 +135,12 @@ class NullTelemetry(Telemetry):
     def observe(self, name: str, value: float, labels: dict | None = None) -> None:
         pass
 
-    def observe_many(self, name: str, values, labels: dict | None = None) -> None:
+    def observe_many(
+        self, name: str, values: "Iterable[float]", labels: dict | None = None
+    ) -> None:
         pass
 
-    def event(self, name: str, level: int = _stdlib_logging.INFO, **fields) -> None:
+    def event(self, name: str, level: int = _stdlib_logging.INFO, **fields: object) -> None:
         pass
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from types import TracebackType
 from typing import Iterator
 
 __all__ = ["Span", "Tracer"]
@@ -44,7 +45,7 @@ class Span:
         end = time.perf_counter() if self.t_end is None else self.t_end
         return end - self.t_start
 
-    def set(self, **attributes) -> "Span":
+    def set(self, **attributes: object) -> "Span":
         """Attach attributes to the span; returns the span for chaining."""
         self.attributes.update(attributes)
         return self
@@ -77,7 +78,12 @@ class Span:
             self._tracer._open(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self.t_end = time.perf_counter()
         if exc_type is not None:
             self.attributes.setdefault("error", exc_type.__name__)
@@ -93,7 +99,7 @@ class Tracer:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
 
-    def span(self, name: str, **attributes) -> Span:
+    def span(self, name: str, **attributes: object) -> Span:
         """A new span that attaches itself to the tree when entered."""
         return Span(name=name, attributes=attributes, _tracer=self)
 

@@ -72,6 +72,7 @@ def east_angle(dx_east: float, dy_north: float) -> float:
     This is the paper's road-direction convention: 0 points East, +pi/2
     points North. Raises for a zero-length direction.
     """
+    # reprolint: disable=RL005 -- exact degenerate-segment guard; near-zero directions stay valid
     if dx_east == 0.0 and dy_north == 0.0:
         raise GeometryError("cannot compute direction of a zero-length segment")
     return math.atan2(dy_north, dx_east)

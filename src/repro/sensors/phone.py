@@ -142,6 +142,8 @@ class Smartphone:
         lat_values = self.lateral_noise.apply(lat_truth, trace.dt, rng)
 
         phi = self.mounting_yaw
+        # reprolint: disable=RL005 -- exact sentinel: phi is assigned, never computed; the
+        # zero-yaw path must skip the rotation entirely to keep bit-identity pins.
         if phi != 0.0:
             ay = np.cos(phi) * long_signal.values + np.sin(phi) * lat_values
             ax = -np.sin(phi) * long_signal.values + np.cos(phi) * lat_values
@@ -157,6 +159,7 @@ class Smartphone:
         speed = self.speedometer.measure(trace, rng)
         gyro = self.gyroscope.measure(trace, rng)
         yaw_est = 0.0
+        # reprolint: disable=RL005 -- exact sentinel: same zero-yaw bit-identity skip as above
         if self.correct_mounting and phi != 0.0:
             yaw_est = estimate_mounting_yaw(accel_long, accel_lat, speed, gyro=gyro)
             recovered = np.cos(yaw_est) * accel_long.values - np.sin(yaw_est) * accel_lat.values

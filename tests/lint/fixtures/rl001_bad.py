@@ -1,0 +1,32 @@
+"""RL001 fixture: every statement here is a determinism violation."""
+
+import time
+from datetime import datetime
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def stamp_ns() -> int:
+    return time.time_ns()
+
+
+def today() -> object:
+    return datetime.now()
+
+
+def global_draw() -> float:
+    np.random.seed(0)
+    return float(np.random.rand())
+
+
+def entropy_seeded() -> object:
+    return np.random.default_rng()
+
+
+def entropy_seeded_bare() -> object:
+    return default_rng()

@@ -1,0 +1,26 @@
+"""RL001 fixture: determinism flows through parameters — nothing to flag."""
+
+import time
+
+import numpy as np
+
+
+def stamped(ts: float) -> dict:
+    return {"ts": ts}
+
+
+def measure_wall() -> float:
+    # Durations (perf_counter) are allowed; only absolute clocks are banned.
+    return time.perf_counter()
+
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.normal())
+
+
+def seeded(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def seeded_sequence(seed: int, index: int) -> np.random.Generator:
+    return np.random.default_rng([abs(seed), abs(index)])

@@ -1,0 +1,31 @@
+"""RL002 fixture: config dataclasses that cannot round-trip as JSON."""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.config import SerializableConfig
+
+
+@dataclass
+class MutableDefaultConfig(SerializableConfig):
+    name: str = "x"
+    overrides: dict = field(default_factory=dict)
+    weights: list = field(default_factory=list)
+    literal: tuple = ()
+    bad_literal: dict = None  # placeholder so only the factories flag
+
+
+@dataclass
+class UnannotatedFieldConfig(SerializableConfig):
+    threshold: float = 0.5
+    window = 25  # no annotation: silently not a field
+
+
+@dataclass
+class UnserializableTypeConfig(SerializableConfig):
+    scale: Any = 1.0
+    hook: Callable = print
+    samples: np.ndarray = None
+    tags: set[str] = ()

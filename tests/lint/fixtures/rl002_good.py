@@ -1,0 +1,29 @@
+"""RL002 fixture: well-formed serializable configs — nothing to flag."""
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.config import SerializableConfig
+
+
+@dataclass(frozen=True)
+class InnerConfig(SerializableConfig):
+    gain: float = 1.0
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class OuterConfig(SerializableConfig):
+    seed: int = 0
+    enabled: bool = True
+    sources: tuple[str, ...] = ("gps", "speedometer")
+    pairs: tuple[tuple[str, float], ...] = ()
+    inner: InnerConfig = field(default_factory=InnerConfig)
+    _cache: dict = None  # private attrs are the implementation's business
+    KINDS: ClassVar[tuple[str, ...]] = ("a", "b")
+
+
+@dataclass
+class PlainDataclass:
+    # Not a SerializableConfig: the rule must leave it alone.
+    anything: dict = field(default_factory=dict)

@@ -1,0 +1,35 @@
+"""RL003 fixture: registered stages whose keys match — nothing to flag."""
+
+from typing import Protocol
+
+from repro.core.stages import register_stage
+
+
+class Stage(Protocol):
+    """The protocol itself (no literal name) is not a concrete stage."""
+
+    name: str
+
+    def run(self, ctx):
+        ...
+
+
+class ResampleStage:
+    name = "resample"
+
+    def __init__(self, factor: int) -> None:
+        self.factor = factor
+
+    def run(self, ctx):
+        return ctx
+
+
+class DebiasStage:
+    name = "debias"
+
+    def run(self, ctx):
+        return ctx
+
+
+register_stage("resample", lambda system: ResampleStage(2))
+register_stage("debias", lambda system: DebiasStage())

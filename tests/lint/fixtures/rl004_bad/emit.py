@@ -1,0 +1,9 @@
+"""RL004 fixture: metric emissions that break grammar or miss the registry."""
+
+
+def run(tel, registry) -> None:
+    tel.count("BadCamelCase")
+    tel.count("trailing.dot.")
+    tel.count('inline{label="x"}')
+    tel.observe("pipeline.unregistered_latency", 1.0)
+    registry.counter("pipeline.estimates").inc()

@@ -1,0 +1,7 @@
+"""Registry fixture: deliberately missing the names emit.py uses."""
+
+METRIC_NAMES = frozenset(
+    {
+        "pipeline.estimates",
+    }
+)

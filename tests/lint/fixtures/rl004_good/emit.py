@@ -1,0 +1,10 @@
+"""RL004 fixture: grammar-clean, registry-declared emissions."""
+
+
+def run(tel, registry, name: str) -> None:
+    tel.count("pipeline.estimates")
+    tel.count("health.flag", labels={"kind": "nis", "severity": "warn"})
+    tel.observe("ekf.innovation_abs", 0.5)
+    registry.histogram("ekf.innovation_abs").observe(0.5)
+    # Dynamic names are the caller's contract, not a literal to check.
+    tel.count(name)

@@ -1,0 +1,9 @@
+"""Registry fixture covering every literal emit.py uses."""
+
+METRIC_NAMES = frozenset(
+    {
+        "ekf.innovation_abs",
+        "health.flag",
+        "pipeline.estimates",
+    }
+)

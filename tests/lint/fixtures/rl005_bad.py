@@ -1,0 +1,13 @@
+"""RL005 fixture: float-literal equality in estimation code."""
+
+
+def classify(grade: float, residual: float) -> str:
+    if grade == 0.0:
+        return "flat"
+    if residual != 1.5:
+        return "off-model"
+    if 0.25 == grade:
+        return "quarter"
+    if -1.0 == residual:
+        return "negated"
+    return "other"

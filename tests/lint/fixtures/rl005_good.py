@@ -1,0 +1,17 @@
+"""RL005 fixture: tolerance-aware comparisons — nothing to flag."""
+
+import math
+
+import numpy as np
+
+
+def classify(grade: float, residual: float, n: int) -> str:
+    if math.isclose(grade, 0.0, abs_tol=1e-12):
+        return "flat"
+    if np.isclose(residual, 1.5):
+        return "on-model"
+    if n == 0:  # integer equality stays fine
+        return "empty"
+    if grade < 0.5:  # ordering comparisons stay fine
+        return "shallow"
+    return "other"

@@ -1,0 +1,18 @@
+"""RL006 fixture: handlers that act on the failure — nothing to flag."""
+
+
+def load(path: str, tel) -> str | None:
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except OSError as exc:
+        tel.count("io.read_failed")
+        tel.event("io.read_failed", path=path, error=str(exc))
+        return None
+
+
+def wrap(fn) -> None:
+    try:
+        fn()
+    except ValueError as exc:
+        raise RuntimeError("estimation step failed") from exc

@@ -1,0 +1,14 @@
+"""Suppression fixture: every violation carries a justified waiver."""
+
+import time
+
+
+def stamp() -> float:
+    # reprolint: disable=RL001 -- fixture: wall-clock timestamping is this helper's contract
+    return time.time()
+
+
+def is_sentinel(x: float) -> bool:
+    # reprolint: disable=RL005 -- fixture: exact sentinel, value is assigned never computed
+    # (the comment block above a line counts as its suppression context)
+    return x == -1.0

@@ -1,0 +1,7 @@
+"""RL007 fixture: a suppression with no `-- reason` is itself a finding."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # reprolint: disable=RL001

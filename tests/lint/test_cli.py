@@ -1,0 +1,126 @@
+"""CLI contract: `python -m repro.lint` exits 0 clean / 1 findings / 2 error,
+and the metric-names generator is deterministic."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import main
+from repro.lint.metric_registry import render_metric_names_module
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write_clean(tmp_path: Path) -> Path:
+    src = tmp_path / "clean.py"
+    src.write_text("def f(seed: int) -> int:\n    return seed + 1\n")
+    return src
+
+
+def write_dirty(tmp_path: Path) -> Path:
+    src = tmp_path / "dirty.py"
+    src.write_text("import time\nt = time.time()\n")
+    return src
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        assert main([str(write_clean(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        assert main([str(write_dirty(tmp_path))]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+
+    def test_no_paths_is_a_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_rule_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["--select", "RL999", str(write_clean(tmp_path))]) == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+    def test_missing_path_is_an_error(self, capsys):
+        assert main(["/no/such/tree"]) == 2
+
+    def test_bad_baseline_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{")
+        assert main(["--baseline", str(bad), str(write_clean(tmp_path))]) == 2
+
+    def test_module_entry_point(self, tmp_path):
+        # The real `python -m repro.lint` invocation, end to end.
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(write_dirty(tmp_path))],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(Path(__file__).parents[2] / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "RL001" in proc.stdout
+
+
+class TestCLIModes:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
+            assert code in out
+
+    def test_json_format(self, tmp_path, capsys):
+        assert main(["--format", "json", str(write_dirty(tmp_path))]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.lint_report/v1"
+        assert doc["findings"][0]["rule"] == "RL001"
+
+    def test_select_subset(self, tmp_path, capsys):
+        # RL001 off: the dirty file is clean under RL005 alone.
+        assert main(["--select", "RL005", str(write_dirty(tmp_path))]) == 0
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        dirty = write_dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", str(baseline), str(dirty)]) == 0
+        assert main(["--baseline", str(baseline), str(dirty)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+
+class TestMetricNamesGenerator:
+    def test_write_then_rewrite_is_idempotent(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        (pkg / "obs").mkdir(parents=True)
+        (pkg / "core").mkdir()
+        (pkg / "core" / "emit.py").write_text(
+            'def f(tel):\n    tel.count("pipeline.estimates")\n'
+        )
+        registry = pkg / "obs" / "metric_names.py"
+
+        assert main(["--write-metric-names", str(pkg)]) == 0
+        assert "updated" in capsys.readouterr().out
+        assert '"pipeline.estimates"' in registry.read_text()
+
+        assert main(["--write-metric-names", str(pkg)]) == 0
+        assert "unchanged" in capsys.readouterr().out
+
+    def test_registry_path_override(self, tmp_path, capsys):
+        src = tmp_path / "emit.py"
+        src.write_text('def f(tel):\n    tel.observe("ekf.lag", 1.0)\n')
+        target = tmp_path / "names.py"
+        assert main(
+            [
+                "--write-metric-names",
+                "--registry-path",
+                str(target),
+                str(src),
+            ]
+        ) == 0
+        assert '"ekf.lag"' in target.read_text()
+
+    def test_render_is_sorted_and_stable(self):
+        a = render_metric_names_module({"b.two", "a.one"})
+        b = render_metric_names_module(["a.one", "b.two", "a.one"])
+        assert a == b
+        assert a.index('"a.one"') < a.index('"b.two"')

@@ -1,0 +1,187 @@
+"""Engine-level tests: suppressions, baselines, registry, error paths."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    BASELINE_SCHEMA,
+    Finding,
+    RULE_REGISTRY,
+    Rule,
+    lint_paths,
+    load_baseline,
+    parse_file,
+    register_rule,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressionParsing:
+    def test_inline_with_justification(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text(
+            "import time\n"
+            "t = time.time()  # reprolint: disable=RL001 -- boot stamp\n"
+        )
+        ctx = parse_file(src)
+        (sup,) = ctx.suppressions
+        assert sup.rules == ("RL001",)
+        assert sup.justified
+        assert sup.justification == "boot stamp"
+        assert not sup.file_wide
+
+    def test_multi_rule_and_file_wide(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text(
+            "# reprolint: disable-file=RL004,RL005 -- generated module\n"
+            "x = 1\n"
+        )
+        ctx = parse_file(src)
+        (sup,) = ctx.suppressions
+        assert sup.rules == ("RL004", "RL005")
+        assert sup.file_wide
+
+    def test_commented_out_example_is_not_a_suppression(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text("#:   # reprolint: disable=RL001\n")
+        assert parse_file(src).suppressions == []
+
+    def test_file_wide_suppression_silences_whole_file(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text(
+            "# reprolint: disable-file=RL001 -- clock shim module\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        report = lint_paths([src], select=["RL001"], force_library=True)
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_comment_block_above_counts(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text(
+            "import time\n"
+            "# reprolint: disable=RL001 -- two-line justification, because\n"
+            "# the reason genuinely needs the space\n"
+            "t = time.time()\n"
+        )
+        report = lint_paths([src], select=["RL001"], force_library=True)
+        assert report.findings == []
+
+    def test_suppression_does_not_leak_past_code(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text(
+            "import time\n"
+            "# reprolint: disable=RL001 -- only covers the next line\n"
+            "a = 1\n"
+            "t = time.time()\n"
+        )
+        report = lint_paths([src], select=["RL001"], force_library=True)
+        assert len(report.findings) == 1
+
+
+class TestBaseline:
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text("import time\nt = time.time()\n")
+        first = lint_paths([src], select=["RL001"], force_library=True)
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        doc = write_baseline(baseline_path, first.findings)
+        assert doc["schema"] == BASELINE_SCHEMA
+
+        fingerprints = load_baseline(baseline_path)
+        second = lint_paths(
+            [src], select=["RL001"], baseline=fingerprints, force_library=True
+        )
+        assert second.findings == []
+        assert len(second.baselined) == 1
+
+    def test_fingerprint_survives_line_renumbering(self, tmp_path):
+        src = tmp_path / "m.py"
+        src.write_text("import time\nt = time.time()\n")
+        (before,) = lint_paths([src], select=["RL001"], force_library=True).findings
+        src.write_text("import time\n\n\n\nt = time.time()\n")
+        (after,) = lint_paths([src], select=["RL001"], force_library=True).findings
+        assert before.fingerprint() == after.fingerprint()
+        assert before.line != after.line
+
+    def test_bad_baseline_documents_raise(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError, match="cannot read baseline"):
+            load_baseline(path)
+        path.write_text(json.dumps({"schema": "other/v1"}))
+        with pytest.raises(ConfigurationError, match=BASELINE_SCHEMA):
+            load_baseline(path)
+
+
+class TestRunner:
+    def test_syntax_error_yields_rl000_not_a_crash(self, tmp_path):
+        src = tmp_path / "broken.py"
+        src.write_text("def broken(:\n")
+        report = lint_paths([src])
+        (finding,) = [f for f in report.findings if f.rule == "RL000"]
+        assert "does not parse" in finding.message
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            lint_paths([FIXTURES / "rl005_good.py"], select=["RL999"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["/no/such/tree"])
+
+    def test_findings_sorted_and_counted(self):
+        report = lint_paths(
+            [FIXTURES / "rl001_bad.py", FIXTURES / "rl005_bad.py"],
+            select=["RL001", "RL005"],
+            force_library=True,
+        )
+        assert report.files == 2
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)
+        assert not report.clean
+        as_dict = report.to_dict()
+        assert as_dict["schema"] == "repro.lint_report/v1"
+        assert as_dict["findings"]
+
+
+class TestRegistry:
+    def test_register_rule_rejects_bad_codes(self):
+        with pytest.raises(ConfigurationError, match="RLxxx"):
+
+            @register_rule
+            class BadCode(Rule):
+                code = "X1"
+                name = "bad"
+
+    def test_register_rule_replaces_and_restores(self):
+        original = RULE_REGISTRY["RL006"]
+
+        @register_rule
+        class Replacement(Rule):
+            code = "RL006"
+            name = "replacement"
+            description = "test double"
+
+            def check(self, ctx):
+                return iter(())
+
+        try:
+            assert RULE_REGISTRY["RL006"].name == "replacement"
+        finally:
+            RULE_REGISTRY["RL006"] = original
+
+    def test_finding_render_is_clickable(self):
+        finding = Finding(
+            rule="RL001", path="src/x.py", line=3, col=4, message="m"
+        )
+        assert finding.render() == "src/x.py:3:4: RL001 m"

@@ -1,0 +1,62 @@
+"""The gate itself: the shipped tree passes its own linter.
+
+This is the test-suite twin of the CI step `python -m repro.lint src/` —
+if a PR introduces a determinism leak, an unserializable config field, an
+unregistered stage, or a stray metric name, it fails here first.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.metric_registry import (
+    collect_metric_names,
+    registry_path_for,
+    render_metric_names_module,
+)
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def test_src_tree_exists_where_expected():
+    assert (SRC / "core" / "pipeline.py").is_file()
+
+
+def test_live_tree_is_clean():
+    report = lint_paths([SRC])
+    assert report.findings == [], "\n" + "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.files > 90  # the whole library tree was actually scanned
+
+
+def test_every_live_suppression_is_justified():
+    from repro.lint import parse_file
+    from repro.lint.framework import iter_source_files
+
+    unjustified = [
+        f"{sup.path}:{sup.line}"
+        for file in iter_source_files([SRC])
+        for sup in parse_file(file).suppressions
+        if not sup.justified
+    ]
+    assert unjustified == []
+
+
+def test_metric_registry_is_fresh():
+    """Regenerating the registry over the live tree must be a no-op."""
+    target = registry_path_for([SRC])
+    assert target == SRC / "obs" / "metric_names.py"
+    current = target.read_text(encoding="utf-8")
+    regenerated = render_metric_names_module(collect_metric_names([SRC]))
+    assert current == regenerated, (
+        "repro/obs/metric_names.py is stale; regenerate with "
+        "`python -m repro.lint --write-metric-names src/repro`"
+    )
+
+
+def test_registry_importable_and_matches_collector():
+    from repro.obs.metric_names import METRIC_NAMES
+
+    assert METRIC_NAMES == frozenset(collect_metric_names([SRC]))
+    assert "pipeline.estimates" in METRIC_NAMES
+    assert "ekf_ticks" in METRIC_NAMES
