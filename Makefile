@@ -2,7 +2,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check lint lint-rules typecheck metric-names test fast test-faults test-scenarios coverage bench-smoke bench bench-batch bench-faults bench-scenarios profile benchtrack benchtrack-report
+.PHONY: check lint lint-rules typecheck metric-names test fast test-faults test-scenarios coverage bench-smoke bench bench-batch bench-pipeline bench-faults bench-scenarios profile benchtrack benchtrack-report
 
 # Fast-lane coverage floor enforced in the CI PR lane (see ci.yml):
 # measured 94.6% line coverage over src/repro, floored at measured - 1.
@@ -62,6 +62,10 @@ bench:
 bench-batch:
 	$(PYTEST) benchmarks/bench_batch_vs_scalar.py -q -p no:cacheprovider
 	PYTHONPATH=src python benchmarks/bench_batch_vs_scalar.py
+
+bench-pipeline:
+	$(PYTEST) benchmarks/bench_pipeline_batch.py -q -p no:cacheprovider
+	PYTHONPATH=src python benchmarks/bench_pipeline_batch.py
 
 bench-faults:
 	$(PYTEST) benchmarks/bench_faults.py -q -p no:cacheprovider

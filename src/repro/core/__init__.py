@@ -1,6 +1,7 @@
 """Core contribution: EKF gradient estimation, lane-change handling, fusion."""
 
 from .batch import estimate_tracks_batch
+from .trip_batch import BATCH_CHANNELS, BatchPipelineContext, TripBatch
 from .bias_ekf import BiasEKFConfig, estimate_track_bias_augmented
 from .ekf import EKFModel, ExtendedKalmanFilter
 from .online import StreamingGradientEstimator, StreamState
@@ -34,8 +35,10 @@ from .lane_change import (
     LaneChangeThresholds,
     calibrate_thresholds,
     loess_smooth,
+    loess_smooth_batch,
 )
 from .pipeline import (
+    BatchEstimate,
     EstimationResult,
     GradientEstimationSystem,
     GradientSystemConfig,
@@ -56,6 +59,9 @@ __all__ = [
     "GradientFilterCore",
     "estimate_track",
     "estimate_tracks_batch",
+    "BATCH_CHANNELS",
+    "BatchPipelineContext",
+    "TripBatch",
     "estimate_track_generic",
     "measurements_on_timebase",
     "DEFAULT_STAGES",
@@ -81,6 +87,8 @@ __all__ = [
     "LaneChangeThresholds",
     "calibrate_thresholds",
     "loess_smooth",
+    "loess_smooth_batch",
+    "BatchEstimate",
     "EstimationResult",
     "GradientEstimationSystem",
     "GradientSystemConfig",

@@ -53,6 +53,8 @@ def estimate_tracks_batch(
     names: Sequence[str | None] | None = None,
     telemetry: Telemetry | None = None,
     monitor=None,
+    telemetries: Sequence[Telemetry | None] | None = None,
+    monitors: Sequence | None = None,
 ) -> list[GradientTrack]:
     """Run the gradient EKF over N tracks simultaneously.
 
@@ -67,6 +69,12 @@ def estimate_tracks_batch(
         Optional :class:`~repro.obs.health.HealthMonitor`; receives each
         track's innovation record via ``check_track``. Purely passive —
         outputs are bit-identical with or without it.
+    telemetries / monitors:
+        Per-track telemetry/monitor sequences for callers that flatten
+        tracks from *several* trips into one batch call (the whole-pipeline
+        batching path): track ``k`` reports to ``telemetries[k]`` /
+        ``monitors[k]``. Mutually exclusive with the batch-wide
+        ``telemetry`` / ``monitor`` singletons.
 
     Returns
     -------
@@ -77,10 +85,23 @@ def estimate_tracks_batch(
         raise EstimationError("batch inputs must have matching lengths")
     if names is not None and len(names) != n_tracks:
         raise EstimationError("names must match the number of tracks")
+    if telemetries is not None and telemetry is not None:
+        raise EstimationError("pass either telemetry or telemetries, not both")
+    if monitors is not None and monitor is not None:
+        raise EstimationError("pass either monitor or monitors, not both")
+    if telemetries is not None and len(telemetries) != n_tracks:
+        raise EstimationError("telemetries must match the number of tracks")
+    if monitors is not None and len(monitors) != n_tracks:
+        raise EstimationError("monitors must match the number of tracks")
     if n_tracks == 0:
         raise EstimationError("batch estimation needs at least one track")
     vehicle = vehicle or DEFAULT_VEHICLE
     cfg = config or GradientEKFConfig()
+
+    tels_raw: list[Telemetry | None] = (
+        list(telemetries) if telemetries is not None else [telemetry] * n_tracks
+    )
+    mons: list = list(monitors) if monitors is not None else [monitor] * n_tracks
 
     if cfg.smooth:
         # The RTS backward pass is not vectorized; keep exactness by
@@ -93,14 +114,17 @@ def estimate_tracks_batch(
                 vehicle=vehicle,
                 config=cfg,
                 name=names[k] if names is not None else None,
-                telemetry=telemetry,
-                monitor=monitor,
+                telemetry=tels_raw[k],
+                monitor=mons[k],
             )
             for k in range(n_tracks)
         ]
 
-    tel = telemetry if telemetry is not None and telemetry.active else None
-    mon = monitor
+    tels: list[Telemetry | None] = [
+        t if t is not None and t.active else None for t in tels_raw
+    ]
+    any_tel = any(t is not None for t in tels)
+    any_mon = any(m is not None for m in mons)
 
     # -- per-track setup (cold path, mirrors estimate_track exactly) -------
     ts: list[np.ndarray] = []
@@ -137,12 +161,13 @@ def estimate_tracks_batch(
             if len(first)
             else float(np.nanmax([accels[k].values[0], 0.0]))
         )
-        if tel is not None:
+        tel_k = tels[k]
+        if tel_k is not None:
             vel = velocities[k]
             dropped = int(np.count_nonzero(~(vel.valid & np.isfinite(vel.values))))
-            tel.count("samples_dropped", dropped)
-            tel.count("ekf_ticks", int(n_k))
-            tel.count("ekf_updates", int(np.count_nonzero(np.isfinite(z_k))))
+            tel_k.count("samples_dropped", dropped)
+            tel_k.count("ekf_ticks", int(n_k))
+            tel_k.count("ekf_updates", int(np.count_nonzero(np.isfinite(z_k))))
 
     q_v = (cfg.accel_noise_std * dt) ** 2
     q_t = cfg.grade_rate_std**2 * dt
@@ -163,11 +188,9 @@ def estimate_tracks_batch(
     var_out = np.empty((n_max, n_tracks))
     v_out = np.empty((n_max, n_tracks))
     inno_out = (
-        np.full((n_max, n_tracks), np.nan)
-        if tel is not None or mon is not None
-        else None
+        np.full((n_max, n_tracks), np.nan) if any_tel or any_mon else None
     )
-    s_out = np.full((n_max, n_tracks), np.nan) if mon is not None else None
+    s_out = np.full((n_max, n_tracks), np.nan) if any_mon else None
 
     # Measurement gating, hoisted out of the loop: which tracks update at
     # which tick, plus fast per-tick any/all flags.
@@ -302,16 +325,18 @@ def estimate_tracks_batch(
     tracks: list[GradientTrack] = []
     for k in range(n_tracks):
         n_k = lengths[k]
-        if tel is not None:
+        tel_k = tels[k]
+        if tel_k is not None:
             inno_k = inno_out[:n_k, k]
             finite = np.isfinite(inno_k)
             if np.any(finite):
-                tel.observe_many("ekf_innovation_abs", np.abs(inno_k[finite]))
-            tel.gauge("ekf.final_theta_variance", float(var_out[n_k - 1, k]))
+                tel_k.observe_many("ekf_innovation_abs", np.abs(inno_k[finite]))
+            tel_k.gauge("ekf.final_theta_variance", float(var_out[n_k - 1, k]))
         name_k = names[k] if names is not None else None
-        if mon is not None:
+        mon_k = mons[k]
+        if mon_k is not None:
             ticks_k = np.flatnonzero(update_mask[:n_k, k])
-            mon.check_track(
+            mon_k.check_track(
                 name_k or velocities[k].name,
                 theta_out[:n_k, k],
                 var_out[:n_k, k],

@@ -17,7 +17,7 @@ from .features import (
     maneuver_features,
     measure_bump,
 )
-from .smoothing import loess_smooth, tricube_kernel
+from .smoothing import loess_smooth, loess_smooth_batch, tricube_kernel
 
 __all__ = [
     "Bump",
@@ -37,5 +37,6 @@ __all__ = [
     "maneuver_features",
     "measure_bump",
     "loess_smooth",
+    "loess_smooth_batch",
     "tricube_kernel",
 ]

@@ -15,7 +15,7 @@ import numpy as np
 
 from ...errors import ConfigurationError
 
-__all__ = ["tricube_kernel", "loess_smooth"]
+__all__ = ["tricube_kernel", "loess_smooth", "loess_smooth_batch"]
 
 
 def tricube_kernel(half_window: int) -> np.ndarray:
@@ -44,7 +44,10 @@ def loess_smooth(values: np.ndarray, half_window: int) -> np.ndarray:
     if values.ndim != 1:
         raise ConfigurationError("loess_smooth expects a 1-D series")
     n = len(values)
-    if n == 0:
+    if n <= 2:
+        # A degree-1 fit through <= 2 points reproduces them exactly; it
+        # also sidesteps np.convolve(mode="same"), which returns the
+        # *kernel's* length when the series is the shorter operand.
         return values.copy()
     k = min(half_window, max(1, (n - 1) // 2))
     kernel = tricube_kernel(k)
@@ -55,6 +58,90 @@ def loess_smooth(values: np.ndarray, half_window: int) -> np.ndarray:
     for i in range(min(k, n)):
         out[i] = _wls_at(values, i, k)
         out[n - 1 - i] = _wls_at(values, n - 1 - i, k)
+    return out
+
+
+def loess_smooth_batch(
+    values: np.ndarray, lengths: np.ndarray, half_window: int
+) -> np.ndarray:
+    """:func:`loess_smooth` over a padded ``(trip, sample)`` matrix.
+
+    Row ``r`` holds ``lengths[r]`` real samples (padding beyond that is
+    ignored and left 0 in the output). Rows long enough for the full
+    window share one vectorized edge solve per offset — the tricube
+    weight vector of an asymmetric edge window depends only on
+    ``(half_window, offset)``, not on the row — while the interior stays
+    a per-row convolution. Rows shorter than ``2*half_window + 1``
+    (where the effective window shrinks) fall back to the scalar path.
+    Every row is bitwise identical to ``loess_smooth(row, half_window)``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ConfigurationError(
+            "loess_smooth_batch expects a 2-D (trip, sample) matrix"
+        )
+    lengths = np.asarray(lengths, dtype=int)
+    if lengths.shape != (values.shape[0],):
+        raise ConfigurationError("lengths must hold one entry per row")
+    if np.any(lengths < 0) or np.any(lengths > values.shape[1]):
+        raise ConfigurationError("row lengths must fit inside the matrix")
+    if half_window < 1:
+        raise ConfigurationError("half_window must be >= 1")
+
+    out = np.zeros_like(values)
+    k = half_window
+    batchable = lengths >= 2 * k + 1
+    for r in np.flatnonzero(~batchable):
+        n = lengths[r]
+        if n:
+            out[r, :n] = loess_smooth(values[r, :n], half_window)
+    rows = np.flatnonzero(batchable)
+    if len(rows) == 0:
+        return out
+
+    kernel = tricube_kernel(k)
+    for r in rows:
+        n = lengths[r]
+        out[r, :n] = np.convolve(values[r, :n], kernel, mode="same")
+
+    # Edge correction, batched across rows one offset at a time. The
+    # products mirror _wls_at's association order so results stay bitwise
+    # equal: s2 = (w*x)*x, sxy = (w*x)*y.
+    v_rows = values[rows]
+    ends = lengths[rows]
+    for i in range(k):
+        # Left edge, evaluation index i: window [0, i+k+1).
+        x = np.arange(0, i + k + 1, dtype=float) - i
+        span = max(abs(x[0]), abs(x[-1])) + 1.0
+        w = (1.0 - np.abs(x / span) ** 3) ** 3
+        wx = w * x
+        s0 = w.sum()
+        s1 = wx.sum()
+        s2 = (wx * x).sum()
+        denom = s0 * s2 - s1 * s1
+        y = v_rows[:, : i + k + 1]
+        sy = (w * y).sum(axis=1)
+        sxy = (wx * y).sum(axis=1)
+        out[rows, i] = (
+            sy / s0 if abs(denom) < 1e-12 else (s2 * sy - s1 * sxy) / denom
+        )
+        # Right edge, evaluation index n-1-i: window [n-k-i-1, n).
+        xr = np.arange(-k, i + 1, dtype=float)
+        spanr = max(abs(xr[0]), abs(xr[-1])) + 1.0
+        wr = (1.0 - np.abs(xr / spanr) ** 3) ** 3
+        wxr = wr * xr
+        s0r = wr.sum()
+        s1r = wxr.sum()
+        s2r = (wxr * xr).sum()
+        denomr = s0r * s2r - s1r * s1r
+        starts = ends - (k + i + 1)
+        cols = starts[:, None] + np.arange(k + i + 1)[None, :]
+        yr = np.take_along_axis(v_rows, cols, axis=1)
+        syr = (wr * yr).sum(axis=1)
+        sxyr = (wxr * yr).sum(axis=1)
+        out[rows, ends - 1 - i] = (
+            syr / s0r if abs(denomr) < 1e-12 else (s2r * syr - s1r * sxyr) / denomr
+        )
     return out
 
 

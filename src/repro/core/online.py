@@ -33,7 +33,7 @@ from .gradient_ekf import GradientEKFConfig, GradientFilterCore
 __all__ = ["StreamState", "StreamingGradientEstimator"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamState:
     """Snapshot of the streaming filter after one tick."""
 
@@ -148,6 +148,23 @@ class StreamingGradientEstimator:
         converge again once the input heals.
         """
         core = self._core
+        updated = self._tick(accel, v_meas)
+        return StreamState(
+            t=self._t,
+            v=core.v,
+            theta=core.theta,
+            theta_variance=core.p22,
+            updated=updated,
+        )
+
+    def _tick(self, accel: float, v_meas: float | None) -> bool:
+        """One filter tick without building a snapshot (the hot inner loop).
+
+        All per-tick state lives on the estimator and the filter core, so a
+        caller that reads the core directly (:meth:`run`) pays zero heap
+        allocations per sample.
+        """
+        core = self._core
         if v_meas is not None and v_meas != v_meas:  # NaN: no measurement
             v_meas = None
         if self._need_init:
@@ -179,13 +196,7 @@ class StreamingGradientEstimator:
             self._ok_theta = core.theta
         else:
             self._recover()
-        return StreamState(
-            t=self._t,
-            v=core.v,
-            theta=core.theta,
-            theta_variance=core.p22,
-            updated=updated,
-        )
+        return updated
 
     def _recover(self) -> None:
         """Roll back to the last finite state with the covariance reset."""
@@ -233,14 +244,25 @@ class StreamingGradientEstimator:
     def run(self, accel: np.ndarray, v_meas: np.ndarray) -> np.ndarray:
         """Convenience: push whole arrays (NaN in ``v_meas`` = no update).
 
-        Returns the theta series.
+        Returns the theta series. Per tick this allocates nothing: the
+        inputs are unboxed to plain floats once up front, each tick runs
+        through :meth:`_tick` (no :class:`StreamState` snapshots), and
+        thetas are written straight into the preallocated output array —
+        bit-identical to an equivalent :meth:`push` loop, which a unit
+        test pins.
         """
         accel = np.asarray(accel, dtype=float)
         v_meas = np.asarray(v_meas, dtype=float)
         if accel.shape != v_meas.shape:
             raise EstimationError("accel and v_meas must match")
         out = np.empty(len(accel))
-        for i in range(len(accel)):
-            z = None if math.isnan(v_meas[i]) else float(v_meas[i])
-            out[i] = self.push(float(accel[i]), z).theta
+        core = self._core
+        tick = self._tick
+        i = 0
+        # tolist() unboxes to Python floats in one pass; NaN measurements
+        # are mapped to None inside _tick itself.
+        for a, z in zip(accel.tolist(), v_meas.tolist()):
+            tick(a, z)
+            out[i] = core.theta
+            i += 1
         return out

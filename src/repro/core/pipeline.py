@@ -47,16 +47,19 @@ from .stages import (
     Stage,
     build_stages,
     fusion_grid,
+    run_stage_batch,
     validate_stage_names,
 )
 from .track import GradientTrack
 from .track_fusion import fuse_tracks
+from .trip_batch import BatchPipelineContext, TripBatch
 
 __all__ = [
     "EKF_ENGINES",
     "ROBUST_STAGES",
     "GradientSystemConfig",
     "EstimationResult",
+    "BatchEstimate",
     "GradientEstimationSystem",
     "fuse_estimates",
 ]
@@ -178,6 +181,32 @@ class EstimationResult:
         return len(self.events)
 
 
+@dataclass
+class BatchEstimate:
+    """Outcome of one batched estimation pass over N trips.
+
+    ``results[i]`` is trip ``i``'s :class:`EstimationResult`, or ``None``
+    when that trip failed; ``errors`` maps each failed position to the
+    exception that removed it — the same exception the serial
+    :meth:`GradientEstimationSystem.estimate` call would have raised for
+    that recording.
+    """
+
+    results: list[EstimationResult | None]
+    errors: dict[int, BaseException]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def n_ok(self) -> int:
+        """Trips that produced a result."""
+        return len(self.results) - len(self.errors)
+
+
 class GradientEstimationSystem:
     """OPS: the paper's proposed system, end to end.
 
@@ -295,6 +324,146 @@ class GradientEstimationSystem:
             s_grid=ctx.s_grid,
             health=report,
         )
+
+    def estimate_batch(
+        self,
+        recordings,
+        telemetries: list[Telemetry | None] | None = None,
+    ) -> BatchEstimate:
+        """Estimate N trips in one batched pipeline pass.
+
+        The stage list runs once over a columnar
+        :class:`~repro.core.trip_batch.TripBatch` (stages without a batch
+        entry point loop their serial ``run``); each trip's outputs,
+        errors, health report and telemetry are identical to what a
+        per-trip :meth:`estimate` call produces, but the interpreter and
+        dispatch cost is paid per batch instead of per trip. A failing
+        trip is isolated — it lands in :attr:`BatchEstimate.errors` while
+        the rest of the batch completes.
+
+        Parameters
+        ----------
+        recordings:
+            A sequence of :class:`~repro.sensors.phone.PhoneRecording`,
+            or a prebuilt :class:`~repro.core.trip_batch.TripBatch` (e.g.
+            the zero-copy :class:`~repro.sensors.recording_io.TripStore`
+            path).
+        telemetries:
+            Optional per-trip telemetry sinks. When given, trip ``i``'s
+            stage metrics go to ``telemetries[i]`` exactly as if a serial
+            system had been built around that telemetry; when omitted,
+            every trip reports to the system telemetry.
+        """
+        cfg = self.config
+        tel = self.telemetry
+        if isinstance(recordings, TripBatch):
+            batch = recordings
+            recs = [batch.recording(i) for i in range(len(batch))]
+        else:
+            recs = list(recordings)
+            if not recs:
+                raise EstimationError(
+                    "estimate_batch needs at least one recording"
+                )
+            batch = TripBatch(recs)
+        n = len(recs)
+        if telemetries is None:
+            tels: list[Telemetry] = [tel] * n
+        else:
+            if len(telemetries) != n:
+                raise EstimationError(
+                    "telemetries must match the number of recordings"
+                )
+            tels = [t if t is not None else NULL_TELEMETRY for t in telemetries]
+
+        contexts: list[PipelineContext] = []
+        bctx = BatchPipelineContext(
+            batch=batch,
+            contexts=contexts,
+            config=cfg,
+            road_map=self.road_map,
+            vehicle=self.vehicle,
+            telemetry=tel,
+        )
+        for i, rec in enumerate(recs):
+            ctx = PipelineContext(
+                recording=rec,
+                config=cfg,
+                road_map=self.road_map,
+                vehicle=self.vehicle,
+                telemetry=tels[i],
+            )
+            contexts.append(ctx)
+            if cfg.health.enabled:
+                try:
+                    monitor = HealthMonitor(
+                        cfg.health,
+                        telemetry=tels[i],
+                        p22_initial=cfg.ekf.initial_grade_std**2,
+                    )
+                    # Screen the *raw* recording before any stage, exactly
+                    # as the serial path does.
+                    monitor.check_recording(rec)
+                except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                    bctx.fail(i, exc)
+                    continue
+                ctx.extras["health_monitor"] = monitor
+
+        with tel.span("estimate_batch", n_trips=n):
+            for stage in self.stages:
+                with tel.span(stage.name, n_live=bctx.n_live):
+                    run_stage_batch(stage, bctx)
+
+        results: list[EstimationResult | None] = [None] * n
+        for pos, ctx in list(bctx.live_items()):
+            trip_tel = tels[pos]
+            trip_tel.count("pipeline.estimates")
+            if ctx.fused is None or ctx.aligned is None or ctx.s_grid is None:
+                missing = [
+                    name
+                    for name, value in (
+                        ("aligned", ctx.aligned),
+                        ("fused", ctx.fused),
+                        ("s_grid", ctx.s_grid),
+                    )
+                    if value is None
+                ]
+                bctx.fail(
+                    pos,
+                    EstimationError(
+                        f"configured stages {list(cfg.stages)} did not produce "
+                        f"{missing}; a complete pipeline needs the alignment "
+                        f"and fusion stages (or custom stages filling the "
+                        f"same outputs)"
+                    ),
+                )
+                continue
+            report: HealthReport | None = None
+            monitor = ctx.extras.get("health_monitor")
+            if monitor is not None:
+                report = monitor.report()
+                if report.verdict != "ok" and trip_tel.active:
+                    trip_tel.count(
+                        "health.trips_flagged",
+                        labels={"verdict": report.verdict},
+                    )
+                    trip_tel.event(
+                        "health.trip_flagged",
+                        verdict=report.verdict,
+                        n_flags=report.n_flags,
+                        kinds=report.flag_kinds(),
+                    )
+            results[pos] = EstimationResult(
+                fused=ctx.fused,
+                tracks=ctx.tracks,
+                events=ctx.events,
+                aligned=ctx.aligned,
+                s_grid=ctx.s_grid,
+                health=report,
+            )
+        if tel.active:
+            tel.count("pipeline.batch.trips", n)
+        return BatchEstimate(results=results, errors=dict(bctx.failed))
 
     def _fusion_grid(self, aligned: AlignedSteering) -> np.ndarray:
         """The fusion grid for one aligned trip (kept for introspection)."""

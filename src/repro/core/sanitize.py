@@ -232,3 +232,56 @@ class SanitizeStage:
         if ctx.span is not None and ctx.recording is not before:
             ctx.span.set(repaired=True)
         return ctx
+
+    def run_batch(self, bctx):  # bctx: repro.core.trip_batch.BatchPipelineContext
+        """Sanitize a whole batch: columnar screen, per-trip repair.
+
+        One vectorized pass over the padded matrices finds the trips that
+        could need any repair (non-finite channel samples, broken
+        timebases, corrupt GPS fixes, per-channel timebases); only those
+        replay :func:`sanitize_recording` — with their own telemetry, so
+        counters and events match the serial stage — and refresh their
+        batch rows. Clean trips are untouched, which is exactly the
+        scalar stage's identity guarantee.
+        """
+        batch = bctx.batch
+        # Trips with any private channel timebase replay the full scalar
+        # repair (their timebases cannot be screened on the master t2d).
+        suspect = ~batch.uniform
+        if not suspect.all():
+            mask = batch.sample_mask
+            t2d = batch.t2d
+            # Timebase screen: any non-finite stamp or non-increasing step
+            # in the real samples. Padding repeats the final stamp (diff
+            # 0), so pad positions are excluded from the step check.
+            finite_ok = np.all(np.isfinite(t2d) | ~mask, axis=1)
+            steps = np.diff(t2d, axis=1)
+            steps_ok = np.all((steps > 0.0) | ~mask[:, 1:], axis=1)
+            suspect |= ~(finite_ok & steps_ok)
+            for channel in _CHANNEL_POLICY:
+                values = batch.column(channel)[0]
+                suspect |= ~np.all(np.isfinite(values) | ~mask, axis=1)
+
+        for pos, ctx in list(bctx.live_items()):
+            rec = ctx.recording
+            dirty = bool(suspect[pos])
+            if not dirty:
+                # GPS traces are short; screen them per trip.
+                gps = rec.gps
+                bad_gps_t = not np.all(np.isfinite(gps.t)) or (
+                    len(gps.t) > 1 and not np.all(np.diff(gps.t) > 0.0)
+                )
+                corrupt = gps.available & ~(
+                    np.isfinite(gps.x) & np.isfinite(gps.y) & np.isfinite(gps.speed)
+                )
+                dirty = bad_gps_t or bool(np.any(corrupt))
+            if not dirty:
+                continue  # clean trip: identity pass-through, no telemetry
+            try:
+                repaired = sanitize_recording(rec, self.config, ctx.telemetry)
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
+                continue
+            if repaired is not rec:
+                ctx.recording = repaired
+                batch.set_recording(pos, repaired)

@@ -35,10 +35,10 @@ from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..errors import DegradedInputError, EstimationError
+from ..errors import DegradedInputError, EstimationError, FusionError
 from ..obs import Telemetry
 from ..roads.profile import RoadProfile
-from ..sensors.alignment import AlignedSteering, CoordinateAlignment
+from ..sensors.alignment import AlignedSteering, CoordinateAlignment, map_match
 from ..sensors.base import SampledSignal
 from ..sensors.phone import PhoneRecording
 from ..vehicle.params import VehicleParams
@@ -46,9 +46,11 @@ from .batch import estimate_tracks_batch
 from .gradient_ekf import estimate_track
 from .lane_change.correction import correct_velocity_signal
 from .lane_change.detector import LaneChangeDetector, LaneChangeEvent
+from .lane_change.smoothing import loess_smooth_batch
 from .sanitize import SanitizeStage
 from .track import GradientTrack
-from .track_fusion import fuse_tracks
+from .track_fusion import convex_combination, fuse_tracks
+from .trip_batch import BatchPipelineContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from .pipeline import GradientEstimationSystem, GradientSystemConfig
@@ -67,6 +69,7 @@ __all__ = [
     "register_stage",
     "build_stages",
     "validate_stage_names",
+    "run_stage_batch",
     "fusion_grid",
 ]
 
@@ -122,7 +125,17 @@ class PipelineContext:
 
 @runtime_checkable
 class Stage(Protocol):
-    """One pipeline stage: a named transform over the context."""
+    """One pipeline stage: a named transform over the context.
+
+    Stages may additionally implement the *optional* batch entry point
+    ``run_batch(bctx: BatchPipelineContext) -> None``, which processes all
+    live trips of a batch in one pass (columnar fast paths). Stages
+    without it — third-party stages included — still work in batch mode:
+    :func:`run_stage_batch` falls back to looping ``run`` per trip. A
+    stage that declares ``run_batch`` must keep ``run`` as well (enforced
+    by reprolint RL003) and must produce per-trip outputs and telemetry
+    identical to its serial ``run``.
+    """
 
     name: str
 
@@ -144,6 +157,127 @@ class AlignmentStage:
         ctx.aligned = self._alignment.align(rec.gyro, rec.speedometer, rec.gps)
         return ctx
 
+    def run_batch(self, bctx: BatchPipelineContext) -> None:
+        """Align all live trips: columnar integration + one curvature query.
+
+        The inherently sequential parts (speed interpolation onto each
+        timebase, GPS map matching, dead-reckoning offsets) stay per-trip,
+        but the speed integral, the road-curvature lookup and the
+        ``w_steer = w_vehicle - w_road`` assembly run once over the padded
+        matrices. Trips whose gyro does not share the recording timebase
+        (the only channel read columnar here — speed is interpolated and
+        GPS matched per trip) replay the scalar path. Per-trip outputs
+        and telemetry are identical to :meth:`run` either way.
+        """
+        batch = bctx.batch
+        profile = self._alignment.profile
+        uniform = batch.channel_uniform("gyro")
+        entries: list[tuple[int, PipelineContext]] = []
+        for pos, ctx in list(bctx.live_items()):
+            if uniform[pos] and len(ctx.recording.gyro.t) >= 2:
+                entries.append((pos, ctx))
+                continue
+            try:
+                aligner = CoordinateAlignment(profile, telemetry=ctx.telemetry)
+                rec = ctx.recording
+                ctx.aligned = aligner.align(rec.gyro, rec.speedometer, rec.gps)
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
+        if not entries:
+            return
+
+        idx = [pos for pos, _ in entries]
+        t2d = batch.t2d[idx]
+        gyro_vals = batch.column("gyro")[0][idx]
+        n_rows, width = t2d.shape
+        lengths = batch.lengths[idx]
+        alive = np.ones(n_rows, dtype=bool)
+
+        # Columnar speed integral; rows are bit-identical to the scalar
+        # cumsum because padding contributes exact zeros.
+        v2d = np.zeros((n_rows, width))
+        for r, (pos, ctx) in enumerate(entries):
+            rec = ctx.recording
+            n = lengths[r]
+            try:
+                v = rec.speedometer.interpolate_to(rec.gyro.t)
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
+                alive[r] = False
+                continue
+            v2d[r, :n] = np.where(np.isfinite(v), v, 0.0)
+        dt2d = np.diff(t2d, axis=1, prepend=t2d[:, :1])
+        travelled = np.cumsum(v2d * dt2d, axis=1)
+
+        # Map matching and dead reckoning stay per-trip (sequential search
+        # over a handful of GPS fixes), reusing the shared speed integral.
+        s2d = np.zeros((n_rows, width))
+        known2d = np.zeros((n_rows, width), dtype=bool)
+        matched = np.zeros(n_rows, dtype=int)
+        for r, (pos, ctx) in enumerate(entries):
+            if not alive[r]:
+                continue
+            rec = ctx.recording
+            n = lengths[r]
+            t = rec.gyro.t
+            try:
+                trav = travelled[r, :n]
+                travelled_at_fix = np.interp(rec.gps.t, t, trav)
+                expected_step = np.diff(
+                    travelled_at_fix, prepend=travelled_at_fix[0]
+                )
+                s_fix = map_match(
+                    profile, rec.gps.x, rec.gps.y, expected_step=expected_step
+                )
+                s = CoordinateAlignment._dead_reckon(
+                    t, v2d[r, :n], rec.gps.t, s_fix, s_dr=trav
+                )
+                gps_ok = (
+                    np.interp(t, rec.gps.t, rec.gps.available.astype(float))
+                    > 0.5
+                )
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
+                alive[r] = False
+                continue
+            s2d[r, :n] = s
+            known2d[r, :n] = gps_ok & np.isfinite(s)
+            matched[r] = int(np.count_nonzero(np.isfinite(s_fix)))
+
+        # One curvature query over the whole batch (the cache layer keys on
+        # shape + bytes, so 2-D queries are first-class), then the columnar
+        # steering-rate assembly.
+        curvature = profile.curvature_at(np.where(np.isfinite(s2d), s2d, 0.0))
+        w_road2d = np.where(known2d, curvature * v2d, 0.0)
+        w_steer2d = gyro_vals - w_road2d
+
+        for r, (pos, ctx) in enumerate(entries):
+            if not alive[r]:
+                continue
+            rec = ctx.recording
+            n = lengths[r]
+            known = known2d[r, :n]
+            tel = ctx.telemetry
+            if tel.active:
+                tel.count("alignment.samples", int(n))
+                tel.count("alignment.gps_fixes", len(rec.gps))
+                tel.count("alignment.matched_fixes", int(matched[r]))
+                tel.count("alignment.dropped_fixes", len(rec.gps) - int(matched[r]))
+                tel.count(
+                    "alignment.outage_samples", int(np.count_nonzero(~known))
+                )
+                tel.gauge("alignment.yaw_offset", 0.0)
+            ctx.aligned = AlignedSteering(
+                t=rec.gyro.t,
+                w_vehicle=rec.gyro.values,
+                w_road=w_road2d[r, :n],
+                w_steer=w_steer2d[r, :n],
+                s=s2d[r, :n],
+                v=v2d[r, :n],
+                road_rate_known=known,
+                yaw_offset=0.0,
+            )
+
 
 class LaneChangeStage:
     """Data adjustment: LOESS smoothing + Algorithm 1 lane-change detection."""
@@ -162,6 +296,41 @@ class LaneChangeStage:
         if ctx.span is not None:
             ctx.span.set(n_events=len(ctx.events))
         return ctx
+
+    def run_batch(self, bctx: BatchPipelineContext) -> None:
+        """Smooth all steering profiles in one batched LOESS pass.
+
+        The LOESS interior and the per-offset edge regressions are
+        vectorized across trips (``loess_smooth_batch`` is bitwise equal
+        to the scalar smoother row by row); Algorithm 1's state machine
+        stays per-trip, running against each trip's own telemetry.
+        """
+        cfg = self._detector.config
+        entries: list[tuple[int, PipelineContext, AlignedSteering]] = []
+        for pos, ctx in list(bctx.live_items()):
+            try:
+                entries.append((pos, ctx, ctx.require("aligned", self.name)))
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
+        if not entries:
+            return
+        lengths = np.array([len(aligned.w_steer) for _, _, aligned in entries])
+        width = int(lengths.max()) if len(lengths) else 0
+        w_steer2d = np.zeros((len(entries), width))
+        for r, (_, _, aligned) in enumerate(entries):
+            w_steer2d[r, : lengths[r]] = aligned.w_steer
+        smoothed = loess_smooth_batch(
+            w_steer2d, lengths, cfg.smoothing_half_window
+        )
+        for r, (pos, ctx, aligned) in enumerate(entries):
+            try:
+                ctx.w_smooth = smoothed[r, : lengths[r]]
+                detector = LaneChangeDetector(cfg, telemetry=ctx.telemetry)
+                ctx.events = detector.detect(
+                    aligned.t, ctx.w_smooth, aligned.v, presmoothed=True
+                )
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
 
 
 class TrackEstimationStage:
@@ -183,10 +352,13 @@ class TrackEstimationStage:
 
     name = "ekf_tracks"
 
-    def run(self, ctx: PipelineContext) -> PipelineContext:
+    def _prepare_signals(
+        self, ctx: PipelineContext, aligned: AlignedSteering
+    ) -> tuple[list[str], list[SampledSignal]]:
+        """Per-source corrected velocity signals, with degraded-source
+        rejection; raises when every configured source is rejected."""
         cfg = ctx.config
         tel = ctx.telemetry
-        aligned = ctx.require("aligned", self.name)
         signals: list[SampledSignal] = []
         kept: list[str] = []
         for source in cfg.velocity_sources:
@@ -215,6 +387,13 @@ class TrackEstimationStage:
                 f"degraded to estimate"
             )
         ctx.signals = dict(zip(kept, signals))
+        return kept, signals
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        cfg = ctx.config
+        tel = ctx.telemetry
+        aligned = ctx.require("aligned", self.name)
+        kept, signals = self._prepare_signals(ctx, aligned)
         monitor = ctx.extras.get("health_monitor")
         tracks: dict[str, GradientTrack] = {}
         if cfg.ekf_engine == "batch" and len(signals) > 1:
@@ -245,6 +424,105 @@ class TrackEstimationStage:
         ctx.tracks = tracks
         return ctx
 
+    def run_batch(self, bctx: BatchPipelineContext) -> None:
+        """Estimate every live trip's tracks in one flattened EKF call.
+
+        With the ``"batch"`` engine, the (trip, source) tracks of all
+        multi-source trips flatten into a *single*
+        :func:`estimate_tracks_batch` call — the vectorized tick loop is
+        elementwise per column, so each flattened track is bit-identical
+        to the per-trip call while the interpreter cost is paid once per
+        tick instead of once per trip. Single-source trips and the
+        ``"scalar"`` engine mirror :meth:`run` per trip. Per-track
+        telemetry and health monitoring report to each trip's own sinks.
+        """
+        cfg = bctx.config
+        prepared: list[
+            tuple[int, PipelineContext, AlignedSteering, list[str], list[SampledSignal]]
+        ] = []
+        for pos, ctx in list(bctx.live_items()):
+            try:
+                aligned = ctx.require("aligned", self.name)
+                kept, signals = self._prepare_signals(ctx, aligned)
+                # Pre-validate per trip so one malformed trip cannot abort
+                # the flattened call; messages match the engine's own.
+                t_accel = ctx.recording.accel_long.t
+                if len(t_accel) < 2:
+                    raise EstimationError(
+                        "gradient estimation needs at least two samples"
+                    )
+                if np.asarray(aligned.s, dtype=float).shape != t_accel.shape:
+                    raise EstimationError(
+                        "arc-length array must match the accel timebase"
+                    )
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
+                continue
+            prepared.append((pos, ctx, aligned, kept, signals))
+        if not prepared:
+            return
+
+        if cfg.ekf_engine == "batch":
+            multi = [entry for entry in prepared if len(entry[4]) > 1]
+            single = [entry for entry in prepared if len(entry[4]) == 1]
+        else:
+            multi, single = [], prepared
+
+        for pos, ctx, aligned, kept, signals in single:
+            try:
+                tracks: dict[str, GradientTrack] = {}
+                for source, signal in zip(kept, signals):
+                    tracks[source] = estimate_track(
+                        ctx.recording.accel_long,
+                        signal,
+                        aligned.s,
+                        vehicle=ctx.vehicle,
+                        config=cfg.ekf,
+                        name=source,
+                        telemetry=ctx.telemetry,
+                        monitor=ctx.extras.get("health_monitor"),
+                    )
+                ctx.tracks = tracks
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
+
+        if not multi:
+            return
+        flat_accels: list[SampledSignal] = []
+        flat_signals: list[SampledSignal] = []
+        flat_s: list[np.ndarray] = []
+        flat_names: list[str] = []
+        flat_tels: list[Telemetry] = []
+        flat_mons: list[Any] = []
+        for pos, ctx, aligned, kept, signals in multi:
+            n = len(signals)
+            flat_accels.extend([ctx.recording.accel_long] * n)
+            flat_signals.extend(signals)
+            flat_s.extend([aligned.s] * n)
+            flat_names.extend(kept)
+            flat_tels.extend([ctx.telemetry] * n)
+            flat_mons.extend([ctx.extras.get("health_monitor")] * n)
+        try:
+            flat_tracks = estimate_tracks_batch(
+                flat_accels,
+                flat_signals,
+                flat_s,
+                vehicle=bctx.vehicle,
+                config=cfg.ekf,
+                names=flat_names,
+                telemetries=flat_tels,
+                monitors=flat_mons,
+            )
+        except Exception as exc:  # noqa: BLE001 - per-trip isolation
+            for pos, *_ in multi:
+                bctx.fail(pos, exc)
+            return
+        offset = 0
+        for pos, ctx, aligned, kept, signals in multi:
+            n = len(signals)
+            ctx.tracks = dict(zip(kept, flat_tracks[offset : offset + n]))
+            offset += n
+
 
 class FusionStage:
     """Track fusion: Eq 6 convex combination on a position grid.
@@ -260,9 +538,10 @@ class FusionStage:
 
     name = "fusion"
 
-    def run(self, ctx: PipelineContext) -> PipelineContext:
+    def _gate_tracks(self, ctx: PipelineContext) -> list[GradientTrack]:
+        """Apply the finite-fraction and health gates; raises when every
+        track is rejected."""
         tel = ctx.telemetry
-        aligned = ctx.require("aligned", self.name)
         if not ctx.tracks:
             raise EstimationError(
                 "stage 'fusion' needs at least one gradient track; check the "
@@ -311,11 +590,103 @@ class FusionStage:
                 f"(finite fraction < {min_fraction}); the recording is too "
                 f"degraded to estimate"
             )
+        return kept
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        aligned = ctx.require("aligned", self.name)
+        kept = self._gate_tracks(ctx)
         ctx.s_grid = fusion_grid(
             aligned, ctx.road_map.length, ctx.config.fusion_grid_spacing
         )
-        ctx.fused = fuse_tracks(kept, ctx.s_grid, name="fused", telemetry=tel)
+        ctx.fused = fuse_tracks(
+            kept, ctx.s_grid, name="fused", telemetry=ctx.telemetry
+        )
         return ctx
+
+    def run_batch(self, bctx: BatchPipelineContext) -> None:
+        """Fuse every live trip through one convex-combination call.
+
+        Gating, per-trip grids and track resampling mirror :meth:`run`;
+        the Eq 6 inverse-variance combination then runs once over all
+        trips' grids concatenated column-wise, with shorter trips' track
+        rows padded by NaN (weight exactly 0). Eq 6 is columnwise, so
+        each trip's slice of the result is bit-for-bit what its own
+        :func:`fuse_tracks` call would produce; trips with uncovered grid
+        cells fail individually with the same :class:`FusionError`.
+        """
+        entries: list[
+            tuple[int, PipelineContext, list[GradientTrack], np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        for pos, ctx in list(bctx.live_items()):
+            try:
+                aligned = ctx.require("aligned", self.name)
+                kept = self._gate_tracks(ctx)
+                s_grid = fusion_grid(
+                    aligned, bctx.road_map.length, bctx.config.fusion_grid_spacing
+                )
+                thetas = np.empty((len(kept), len(s_grid)))
+                variances = np.empty_like(thetas)
+                for i, track in enumerate(kept):
+                    thetas[i], variances[i] = track.resample(s_grid)
+                tel = ctx.telemetry
+                if tel.active:
+                    ok = (
+                        np.isfinite(thetas)
+                        & np.isfinite(variances)
+                        & (variances > 0.0)
+                    )
+                    tel.count("fusion_tracks_in", len(kept))
+                    tel.count("fusion.grid_points", len(s_grid))
+                    tel.count(
+                        "fusion.uncovered_cells",
+                        int(ok.size - np.count_nonzero(ok)),
+                    )
+                # Coverage must fail per trip *before* the shared call, or
+                # one uncovered trip would abort every trip in the batch.
+                covered = (
+                    np.isfinite(thetas)
+                    & np.isfinite(variances)
+                    & (variances > 0.0)
+                ).any(axis=0)
+                if not covered.all():
+                    raise FusionError("some positions are covered by no track")
+            except Exception as exc:  # noqa: BLE001 - per-trip isolation
+                bctx.fail(pos, exc)
+                continue
+            entries.append((pos, ctx, kept, s_grid, thetas, variances))
+        if not entries:
+            return
+
+        max_tracks = max(len(kept) for _, _, kept, _, _, _ in entries)
+        total_cols = sum(len(s_grid) for _, _, _, s_grid, _, _ in entries)
+        all_thetas = np.full((max_tracks, total_cols), np.nan)
+        all_variances = np.full((max_tracks, total_cols), np.nan)
+        col = 0
+        for _, _, kept, s_grid, thetas, variances in entries:
+            m = len(s_grid)
+            all_thetas[: len(kept), col : col + m] = thetas
+            all_variances[: len(kept), col : col + m] = variances
+            col += m
+        theta_bar, var_bar = convex_combination(all_thetas, all_variances)
+
+        col = 0
+        for pos, ctx, kept, s_grid, thetas, variances in entries:
+            m = len(s_grid)
+            first = kept[0]
+            order = np.argsort(first.s)
+            t_grid = np.interp(s_grid, first.s[order], first.t[order])
+            v_grid = np.interp(s_grid, first.s[order], first.v[order])
+            ctx.s_grid = s_grid
+            ctx.fused = GradientTrack(
+                name="fused",
+                t=t_grid,
+                s=s_grid.copy(),
+                theta=theta_bar[col : col + m],
+                variance=var_bar[col : col + m],
+                v=v_grid,
+                meta={"sources": [track.name for track in kept]},
+            )
+            col += m
 
 
 def fusion_grid(
@@ -380,3 +751,24 @@ def build_stages(
     """Instantiate the configured stage list for one system."""
     validate_stage_names(tuple(names))
     return [STAGE_REGISTRY[name](system) for name in names]
+
+
+def run_stage_batch(stage: Stage, bctx: BatchPipelineContext) -> BatchPipelineContext:
+    """Run one stage over every live trip of a batch.
+
+    Stages that implement the optional ``run_batch`` entry point get the
+    columnar fast path; any other stage — third-party stages included —
+    falls back to looping its serial ``run`` per trip. Either way a trip
+    that raises is recorded in ``bctx.failed`` and skipped by later
+    stages instead of taking the whole batch down.
+    """
+    run_batch = getattr(stage, "run_batch", None)
+    if run_batch is not None:
+        run_batch(bctx)
+        return bctx
+    for pos, ctx in list(bctx.live_items()):
+        try:
+            stage.run(ctx)
+        except Exception as exc:  # noqa: BLE001 - per-trip isolation
+            bctx.fail(pos, exc)
+    return bctx

@@ -11,7 +11,14 @@ from .metrics import (
     score_lane_change_detection,
 )
 from .grid import ScenarioGridConfig, run_scenario_grid, write_grid_artifact
-from .parallel import EvalReport, ParallelConfig, TripOutcome, evaluate_trips
+from .parallel import (
+    BatchEvalConfig,
+    EvalReport,
+    ParallelConfig,
+    TripOutcome,
+    evaluate_trips,
+    evaluate_trips_batch,
+)
 from .resilience import (
     ResilienceConfig,
     fault_suite_for,
@@ -28,6 +35,7 @@ from .runner import (
     evaluate_methods,
     make_system,
     simulate_recording,
+    simulate_recordings,
     system_config,
 )
 from .tables import format_value, render_series, render_table
@@ -44,7 +52,9 @@ __all__ = [
     "EvalReport",
     "ParallelConfig",
     "TripOutcome",
+    "BatchEvalConfig",
     "evaluate_trips",
+    "evaluate_trips_batch",
     "ScenarioGridConfig",
     "run_scenario_grid",
     "write_grid_artifact",
@@ -61,6 +71,7 @@ __all__ = [
     "evaluate_methods",
     "make_system",
     "simulate_recording",
+    "simulate_recordings",
     "system_config",
     "format_value",
     "render_series",

@@ -64,7 +64,14 @@ from ..roads.reference import survey_reference_profile
 from .metrics import mean_absolute_error, mean_relative_error
 from .runner import RunnerConfig, _common_grid, make_system, simulate_recording
 
-__all__ = ["ParallelConfig", "TripOutcome", "EvalReport", "evaluate_trips"]
+__all__ = [
+    "ParallelConfig",
+    "BatchEvalConfig",
+    "TripOutcome",
+    "EvalReport",
+    "evaluate_trips",
+    "evaluate_trips_batch",
+]
 
 _BACKENDS = ("serial", "thread", "process")
 
@@ -95,6 +102,39 @@ class ParallelConfig(SerializableConfig):
                 f"unknown parallel backend {self.backend!r}; "
                 f"valid options are {list(_BACKENDS)}"
             )
+        if self.max_workers < 1:
+            raise ConfigurationError("need at least one worker")
+        if self.retries < 0:
+            raise ConfigurationError("retries cannot be negative")
+
+
+@dataclass(frozen=True)
+class BatchEvalConfig(SerializableConfig):
+    """How :func:`evaluate_trips_batch` shapes its work units.
+
+    Trips are grouped into chunks of ``chunk_size``; each chunk is one
+    worker task that simulates its trips and then runs a *single*
+    :meth:`~repro.core.pipeline.GradientEstimationSystem.estimate_batch`
+    pass over all of them, amortizing the per-trip interpreter cost that
+    the one-trip-per-task runner pays ``n_trips`` times. ``backend`` and
+    ``retries`` mean exactly what they do on :class:`ParallelConfig`;
+    ``process`` (the default) is the throughput configuration, ``serial``
+    is the in-process reference the others are pinned against.
+    """
+
+    chunk_size: int = 8
+    max_workers: int = 4
+    backend: str = "process"
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown parallel backend {self.backend!r}; "
+                f"valid options are {list(_BACKENDS)}"
+            )
+        if self.chunk_size < 1:
+            raise ConfigurationError("chunks need at least one trip")
         if self.max_workers < 1:
             raise ConfigurationError("need at least one worker")
         if self.retries < 0:
@@ -296,57 +336,11 @@ def evaluate_trips(
                     outcomes = list(pool.map(_guarded_trip, args))
         outcomes.sort(key=lambda o: o.index)
 
-        # Retry crashed trips before recording them as failures. Retries run
-        # inline in the parent — same seed, fresh state — so every backend
-        # takes the identical path and reports stay pinned equal.
-        if par.retries > 0:
-            for pos, outcome in enumerate(outcomes):
-                if outcome.ok:
-                    continue
-                for _ in range(par.retries):
-                    tel.count("eval.worker_retried")
-                    tel.event(
-                        "eval.worker_retried",
-                        index=outcome.index,
-                        error=outcome.error,
-                    )
-                    outcome = _guarded_trip(args[outcome.index])
-                    if outcome.ok:
-                        break
-                outcomes[pos] = outcome
-
-        # Merge: telemetry in trip order, failures counted, survivors fused.
-        survivors: list[TripOutcome] = []
-        for outcome in outcomes:
-            if outcome.ok:
-                survivors.append(outcome)
-                # Merge only into a *live* registry: with profiling on but
-                # telemetry off, tel is the shared NULL_TELEMETRY and must
-                # never accumulate state.
-                if tel.active and outcome.metrics:
-                    tel.metrics.merge_snapshot(outcome.metrics)
-            else:
-                tel.count("eval.worker_failed")
-                tel.event(
-                    "eval.worker_failed", index=outcome.index, error=outcome.error
-                )
-        if not survivors:
-            raise EstimationError(
-                f"all {cfg.n_trips} trips failed; first error: "
-                f"{outcomes[0].error if outcomes else 'none ran'}"
-            )
+        _retry_crashed(outcomes, args, par.retries, tel)
+        survivors = _merge_survivors(outcomes, tel, cfg.n_trips)
 
         with tel.span("fusion", n_tracks=len(survivors)), _section("fusion"):
-            if len(survivors) > 1:
-                fused = fuse_tracks(
-                    [o.fused for o in survivors],
-                    s_grid,
-                    name="trips-fused",
-                    telemetry=tel,
-                )
-                fused_theta = fused.theta
-            else:
-                fused_theta = survivors[0].theta
+            fused_theta = _fuse_survivors(survivors, s_grid, tel)
 
     tel.count("eval.parallel_reports")
     report = EvalReport(
@@ -403,3 +397,276 @@ def _guarded_trip(packed) -> TripOutcome:
         return _run_trip(*packed)
     except Exception as exc:  # noqa: BLE001 - deliberate degrade-not-crash
         return TripOutcome(index=index, ok=False, error=f"{type(exc).__name__}: {exc}")
+
+
+def _retry_crashed(
+    outcomes: list[TripOutcome], args: list, retries: int, tel: Telemetry
+) -> None:
+    """Retry crashed trips before recording them as failures.
+
+    Retries run inline in the parent — same seed, fresh state — so every
+    backend takes the identical path and reports stay pinned equal.
+    ``args`` holds the per-trip :func:`_run_trip` argument tuples indexed
+    by trip; ``outcomes`` is updated in place.
+    """
+    if retries <= 0:
+        return
+    for pos, outcome in enumerate(outcomes):
+        if outcome.ok:
+            continue
+        for _ in range(retries):
+            tel.count("eval.worker_retried")
+            tel.event(
+                "eval.worker_retried",
+                index=outcome.index,
+                error=outcome.error,
+            )
+            outcome = _guarded_trip(args[outcome.index])
+            if outcome.ok:
+                break
+        outcomes[pos] = outcome
+
+
+def _merge_survivors(
+    outcomes: list[TripOutcome], tel: Telemetry, n_trips: int
+) -> list[TripOutcome]:
+    """Merge telemetry in trip order and count failures; raise if none survive."""
+    survivors: list[TripOutcome] = []
+    for outcome in outcomes:
+        if outcome.ok:
+            survivors.append(outcome)
+            # Merge only into a *live* registry: with profiling on but
+            # telemetry off, tel is the shared NULL_TELEMETRY and must
+            # never accumulate state.
+            if tel.active and outcome.metrics:
+                tel.metrics.merge_snapshot(outcome.metrics)
+        else:
+            tel.count("eval.worker_failed")
+            tel.event(
+                "eval.worker_failed", index=outcome.index, error=outcome.error
+            )
+    if not survivors:
+        raise EstimationError(
+            f"all {n_trips} trips failed; first error: "
+            f"{outcomes[0].error if outcomes else 'none ran'}"
+        )
+    return survivors
+
+
+def _fuse_survivors(
+    survivors: list[TripOutcome], s_grid: np.ndarray, tel: Telemetry
+) -> np.ndarray:
+    """The run-level fused gradient over the surviving trips."""
+    if len(survivors) > 1:
+        fused = fuse_tracks(
+            [o.fused for o in survivors],
+            s_grid,
+            name="trips-fused",
+            telemetry=tel,
+        )
+        return fused.theta
+    return survivors[0].theta
+
+
+def _run_chunk(
+    profile: RoadProfile,
+    cfg_spec: dict,
+    indices: tuple[int, ...],
+    s_grid: np.ndarray,
+    truth: np.ndarray,
+    collect_metrics: bool,
+    fault_hook: Callable[[int], None] | None,
+) -> list[TripOutcome]:
+    """Worker body: simulate a chunk of trips, then estimate them in one
+    batched pipeline pass. Must stay top-level picklable.
+
+    Simulation failures (including ``fault_hook`` raises) are per-trip
+    outcomes, not chunk failures; surviving recordings go through a single
+    :meth:`~repro.core.pipeline.GradientEstimationSystem.estimate_batch`
+    call with one telemetry per trip, so each trip's outcome — scores,
+    metrics snapshot, health summary — is identical to the one
+    :func:`_run_trip` would have produced.
+    """
+    cfg = RunnerConfig.from_dict(cfg_spec)
+    outcomes: dict[int, TripOutcome] = {}
+    live: list[tuple[int, object]] = []
+    for index in indices:
+        try:
+            if fault_hook is not None:
+                fault_hook(index)
+            _, rec = simulate_recording(profile, cfg, index)
+        except Exception as exc:  # noqa: BLE001 - per-trip isolation
+            outcomes[index] = TripOutcome(
+                index=index, ok=False, error=f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        live.append((index, rec))
+
+    if live:
+        tels = [
+            Telemetry(f"eval-trip-{index}") if collect_metrics else None
+            for index, _ in live
+        ]
+        system = make_system(profile, cfg)
+        estimates = system.estimate_batch(
+            [rec for _, rec in live], telemetries=tels
+        )
+        for pos, (index, _) in enumerate(live):
+            error = estimates.errors.get(pos)
+            if error is not None:
+                outcomes[index] = TripOutcome(
+                    index=index,
+                    ok=False,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                continue
+            result = estimates.results[pos]
+            theta = np.interp(s_grid, result.fused.s, result.fused.theta)
+            worker_tel = tels[pos]
+            outcomes[index] = TripOutcome(
+                index=index,
+                ok=True,
+                n_lane_changes=result.n_lane_changes,
+                theta=theta,
+                fused=result.fused,
+                mae_deg=mean_absolute_error(theta, truth, degrees=True),
+                mre=mean_relative_error(theta, truth),
+                metrics=worker_tel.metrics.snapshot()
+                if worker_tel is not None
+                else {},
+                health=result.health.summary()
+                if result.health is not None
+                else {},
+            )
+    return [outcomes[index] for index in indices]
+
+
+def _guarded_chunk(packed) -> list[TripOutcome]:
+    """Run one chunk, converting a chunk-level crash into per-trip failures.
+
+    Per-trip exceptions are already isolated inside :func:`_run_chunk`;
+    this guard only fires on whole-chunk infrastructure failures, and the
+    parent's inline retry then re-runs each affected trip individually.
+    """
+    indices = packed[2]
+    try:
+        return _run_chunk(*packed)
+    except Exception as exc:  # noqa: BLE001 - deliberate degrade-not-crash
+        error = f"{type(exc).__name__}: {exc}"
+        return [TripOutcome(index=i, ok=False, error=error) for i in indices]
+
+
+def evaluate_trips_batch(
+    profile: RoadProfile,
+    cfg: RunnerConfig | None = None,
+    batch: BatchEvalConfig | None = None,
+    telemetry: Telemetry | None = None,
+    fault_hook: Callable[[int], None] | None = None,
+    manifest_path=None,
+) -> EvalReport:
+    """:func:`evaluate_trips`, but chunked over batched pipeline passes.
+
+    Trips are grouped into chunks of ``batch.chunk_size``; each chunk —
+    one worker task — simulates its trips and runs a single
+    :meth:`~repro.core.pipeline.GradientEstimationSystem.estimate_batch`
+    over all of them, so N trips pay one pass of pipeline overhead instead
+    of N. The report is pinned equal to :func:`evaluate_trips` on the same
+    config (same trips, scores, merged telemetry, fused profile) — batch
+    estimation is bit-identical to the serial pipeline, and retries /
+    merge / fusion share the same code.
+
+    Stage-level profiling is not supported here: the profiler's stage
+    wrappers time one trip at a time, which a batched pass does not have —
+    profile the serial runner instead.
+    """
+    cfg = cfg or RunnerConfig()
+    bat = batch or BatchEvalConfig()
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    with tel.span(
+        "evaluate_trips_batch",
+        n_trips=cfg.n_trips,
+        backend=bat.backend,
+        chunk_size=bat.chunk_size,
+    ):
+        with tel.span("reference"):
+            reference = survey_reference_profile(profile).smoothed(
+                cfg.reference_smooth_m
+            )
+            s_grid = _common_grid(profile, cfg)
+            truth = np.asarray(reference.gradient_at(s_grid), dtype=float)
+
+        collect_metrics = tel.active
+        cfg_spec = cfg.to_dict()  # workers rebuild the config from data
+        chunks = [
+            tuple(range(start, min(start + bat.chunk_size, cfg.n_trips)))
+            for start in range(0, cfg.n_trips, bat.chunk_size)
+        ]
+        chunk_args = [
+            (profile, cfg_spec, indices, s_grid, truth, collect_metrics, fault_hook)
+            for indices in chunks
+        ]
+        # Per-trip args for the inline retry path (identical to the
+        # serial runner's, so a retried trip reproduces _run_trip exactly).
+        args = [
+            (profile, cfg_spec, i, s_grid, truth, collect_metrics, fault_hook)
+            for i in range(cfg.n_trips)
+        ]
+
+        with tel.span("trips", n_chunks=len(chunks)):
+            if bat.backend == "serial":
+                chunk_outcomes = [_guarded_chunk(a) for a in chunk_args]
+            else:
+                pool_cls = (
+                    ThreadPoolExecutor
+                    if bat.backend == "thread"
+                    else ProcessPoolExecutor
+                )
+                with pool_cls(max_workers=bat.max_workers) as pool:
+                    chunk_outcomes = list(pool.map(_guarded_chunk, chunk_args))
+        outcomes = [o for chunk in chunk_outcomes for o in chunk]
+        outcomes.sort(key=lambda o: o.index)
+        tel.count("eval.batch_chunks", len(chunks))
+
+        _retry_crashed(outcomes, args, bat.retries, tel)
+        survivors = _merge_survivors(outcomes, tel, cfg.n_trips)
+
+        with tel.span("fusion", n_tracks=len(survivors)):
+            fused_theta = _fuse_survivors(survivors, s_grid, tel)
+
+    tel.count("eval.batch_reports")
+    report = EvalReport(
+        profile_name=profile.name,
+        n_trips=cfg.n_trips,
+        s_grid=s_grid,
+        truth=truth,
+        trips=outcomes,
+        fused_theta=fused_theta,
+        mae_deg=mean_absolute_error(fused_theta, truth, degrees=True),
+        mre=mean_relative_error(fused_theta, truth),
+    )
+
+    if manifest_path is not None:
+        from ..obs.manifest import write_manifest
+
+        write_manifest(
+            manifest_path,
+            config=cfg,
+            seed=cfg.seed,
+            metrics=tel.metrics.snapshot() if tel.active else {},
+            health=report.health_summary(),
+            profile=None,
+            extra={
+                "kind": "evaluate_trips_batch",
+                "road_profile": profile.name,
+                "backend": bat.backend,
+                "chunk_size": bat.chunk_size,
+                "aggregate": {
+                    "mae_deg": report.mae_deg,
+                    "mre": report.mre,
+                    "n_trips": report.n_trips,
+                    "n_failed": report.n_failed,
+                },
+            },
+        )
+    return report

@@ -18,6 +18,7 @@ after the vehicle is rolling).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -61,6 +62,7 @@ __all__ = [
     "ComparisonResult",
     "collect_recordings",
     "simulate_recording",
+    "simulate_recordings",
     "system_config",
     "make_system",
     "evaluate_methods",
@@ -218,6 +220,23 @@ def simulate_recording(
     if cfg.faults is not None:
         rec = apply_fault_suite(rec, cfg.faults, index)
     return trace, rec
+
+
+def simulate_recordings(
+    profile: RoadProfile,
+    cfg: RunnerConfig,
+    indices: Sequence[int] | None = None,
+) -> list[PhoneRecording]:
+    """Recordings for the given trip indices (default ``range(n_trips)``).
+
+    The batch-ingestion convenience: per-index determinism is exactly
+    :func:`simulate_recording`'s, so any slice of indices — a parallel
+    chunk, a :class:`~repro.sensors.recording_io.TripStore` fill, a
+    single retried trip — reproduces the same fleet bit for bit.
+    """
+    if indices is None:
+        indices = range(cfg.n_trips)
+    return [simulate_recording(profile, cfg, int(i))[1] for i in indices]
 
 
 def collect_recordings(

@@ -10,7 +10,9 @@ RL002     config-serializable     ``SerializableConfig`` dataclasses stay
                                   JSON-round-trippable (annotated, immutable
                                   defaults, representable field types)
 RL003     stage-contract          every Stage class is registered in
-                                  ``STAGE_REGISTRY`` under its own ``name``
+                                  ``STAGE_REGISTRY`` under its own ``name``,
+                                  and ``run_batch`` never appears without
+                                  the scalar ``run`` fallback
 RL004     metric-names            telemetry name literals match the
                                   ``metric_key`` grammar and the generated
                                   ``repro.obs.metric_names`` registry
@@ -341,10 +343,10 @@ def _stage_name_attr(node: ast.ClassDef) -> tuple[str, ast.stmt] | None:
     return None
 
 
-def _has_run_method(node: ast.ClassDef) -> bool:
+def _has_method(node: ast.ClassDef, method: str) -> bool:
     return any(
         isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
-        and stmt.name == "run"
+        and stmt.name == method
         for stmt in node.body
     )
 
@@ -356,14 +358,19 @@ class StageContractRule(ProjectRule):
     A stage class that is never passed to ``register_stage`` cannot be
     reached from ``config.stages`` (dead pipeline code); a registration
     string that differs from the class's ``name`` attribute breaks the
-    telemetry span labels, which use ``stage.name``.
+    telemetry span labels, which use ``stage.name``. A stage that defines
+    ``run_batch`` without ``run`` is equally broken: the batch dispatcher
+    treats ``run_batch`` as an optional acceleration whose mandatory
+    fallback is the scalar ``run`` — and the serial pipeline only ever
+    calls ``run``.
     """
 
     code = "RL003"
     name = "stage-contract"
     description = (
-        "Stage subclasses must be registered in STAGE_REGISTRY and the "
-        "registered key must equal the class's name attribute"
+        "Stage subclasses must be registered in STAGE_REGISTRY, the "
+        "registered key must equal the class's name attribute, and a "
+        "stage defining run_batch must also define run"
     )
 
     def check_project(self, ctxs: list[FileContext]) -> Iterator[Finding]:
@@ -406,8 +413,18 @@ class StageContractRule(ProjectRule):
                     continue
                 if not node.name.endswith("Stage") or node.name == "Stage":
                     continue
+                if _has_method(node, "run_batch") and not _has_method(node, "run"):
+                    yield ctx.finding(
+                        self.code,
+                        node,
+                        f"stage class {node.name} defines run_batch() but "
+                        f"no run(); run_batch is an optional batch "
+                        f"acceleration — the scalar run() is its mandatory "
+                        f"fallback and the serial pipeline's only entry "
+                        f"point",
+                    )
                 named = _stage_name_attr(node)
-                if named is None or not _has_run_method(node):
+                if named is None or not _has_method(node, "run"):
                     continue
                 stage_name, stmt = named
                 keys = class_to_keys.get(node.name, set())

@@ -128,6 +128,14 @@ class RegressionRule(SerializableConfig):
 #: bite even on a fresh checkout with no history to diff against.
 DEFAULT_RULES: tuple[RegressionRule, ...] = (
     RegressionRule(metric="batch.speedup", direction="higher", tolerance=0.25),
+    # Whole-pipeline batching must stay >=2x over the serial runner at 32
+    # trips (the ISSUE acceptance floor), on top of the history tolerance.
+    RegressionRule(
+        metric="pipeline.speedup",
+        direction="higher",
+        tolerance=0.25,
+        min_value=2.0,
+    ),
     RegressionRule(
         metric="faults.clean_rmse_deg", direction="lower", tolerance=0.25
     ),
@@ -183,6 +191,19 @@ def collect_metrics(bench_dir: str | Path) -> dict:
             ("speedup", "batch.speedup"),
             ("batch_s", "batch.batch_s"),
             ("scalar_s", "batch.scalar_s"),
+        ):
+            value = latest.get(field_name)
+            if isinstance(value, (int, float)):
+                metrics[key] = float(value)
+
+    pipeline = _read_json(bench_dir / "BENCH_pipeline.json")
+    if isinstance(pipeline, list) and pipeline:
+        latest = pipeline[-1]
+        for field_name, key in (
+            ("speedup", "pipeline.speedup"),
+            ("serial_s", "pipeline.serial_s"),
+            ("batch_s", "pipeline.batch_s"),
+            ("trips_per_sec", "pipeline.trips_per_sec"),
         ):
             value = latest.get(field_name)
             if isinstance(value, (int, float)):

@@ -30,6 +30,8 @@ METRIC_NAMES = frozenset(
         "ekf_innovation_abs",
         "ekf_ticks",
         "ekf_updates",
+        "eval.batch_chunks",
+        "eval.batch_reports",
         "eval.parallel_reports",
         "eval.trips_simulated",
         "eval.worker_failed",
@@ -47,6 +49,8 @@ METRIC_NAMES = frozenset(
         "lane_change.displacement_abs",
         "lane_change.s_curve_rejections",
         "lane_changes_detected",
+        "pipeline.batch.trip_failed",
+        "pipeline.batch.trips",
         "pipeline.cloud_fusion_spacing_mismatch",
         "pipeline.cloud_fusions",
         "pipeline.estimates",

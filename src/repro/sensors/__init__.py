@@ -8,7 +8,7 @@ from .gps import GPSFixes, GPSReceiver
 from .imu import Accelerometer, Gyroscope
 from .noise import NoiseModel
 from .phone import VELOCITY_SOURCES, PhoneRecording, Smartphone
-from .recording_io import load_recording, load_trace, save_recording, save_trace
+from .recording_io import TripStore, load_recording, load_trace, save_recording, save_trace
 from .speedometer import Speedometer
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "PhoneRecording",
     "Smartphone",
     "Speedometer",
+    "TripStore",
     "load_recording",
     "load_trace",
     "save_recording",

@@ -229,16 +229,23 @@ class CoordinateAlignment:
 
     @staticmethod
     def _dead_reckon(
-        t: np.ndarray, v: np.ndarray, t_fix: np.ndarray, s_fix: np.ndarray
+        t: np.ndarray,
+        v: np.ndarray,
+        t_fix: np.ndarray,
+        s_fix: np.ndarray,
+        s_dr: np.ndarray | None = None,
     ) -> np.ndarray:
         """Arc length on the phone timebase: matched where possible, integrated elsewhere.
 
         Between (and beyond) GPS matches, s advances by the integral of the
         speed signal; at each valid match the estimate snaps back to the
         matched value, bounding dead-reckoning drift by the outage length.
+        Callers that already integrated the speed (the batched alignment
+        path) pass it via ``s_dr`` to avoid recomputing it.
         """
-        dt = np.diff(t, prepend=t[0])
-        s_dr = np.cumsum(v * dt)
+        if s_dr is None:
+            dt = np.diff(t, prepend=t[0])
+            s_dr = np.cumsum(v * dt)
         ok = np.isfinite(s_fix)
         if not np.any(ok):
             return s_dr  # pure dead reckoning from the route start

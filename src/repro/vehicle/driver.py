@@ -153,7 +153,9 @@ class DriverModel:
     def longitudinal_accel(self, v: float, v_target: float) -> float:
         """Commanded acceleration [m/s^2], clipped to the comfort envelope."""
         a = self.profile.speed_tracking_gain * (v_target - v)
-        return float(np.clip(a, -self.profile.comfort_decel, self.profile.comfort_accel))
+        # min/max matches np.clip bit for bit on finite floats without the
+        # per-tick ufunc dispatch cost.
+        return float(min(max(a, -self.profile.comfort_decel), self.profile.comfort_accel))
 
     def wants_lane_change(self, distance_step: float) -> bool:
         """Bernoulli draw approximating a Poisson process over distance."""

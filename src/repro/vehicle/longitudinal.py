@@ -16,6 +16,7 @@ Because both directions of the equation live here, tests can verify that
 
 from __future__ import annotations
 
+import math
 
 import numpy as np
 
@@ -36,12 +37,19 @@ __all__ = [
 
 def aero_drag_force(params: VehicleParams, v: float | np.ndarray):
     """Aerodynamic drag ``(1/2) rho A_f C_d v^2`` [N] (opposes motion)."""
+    if isinstance(v, float):
+        # Scalar fast path for the per-tick simulator loop; ``v * v`` and
+        # ``np.square`` are the same IEEE multiply, bit for bit.
+        return 0.5 * params.drag_term * (v * v)
     v = np.asarray(v, dtype=float) if not np.isscalar(v) else v
     return 0.5 * params.drag_term * np.square(v)
 
 
 def grade_resistance_force(params: VehicleParams, grade: float | np.ndarray):
     """Combined grade + rolling resistance ``m g sin(theta + beta)`` [N]."""
+    if isinstance(grade, float):
+        # math.sin and np.sin resolve to the same libm call on float64.
+        return params.weight * math.sin(grade + params.beta)
     return params.weight * np.sin(np.asarray(grade, dtype=float) + params.beta)
 
 
@@ -52,6 +60,16 @@ def acceleration(
     grade: float | np.ndarray,
 ):
     """Longitudinal acceleration [m/s^2] from the force balance."""
+    if (
+        isinstance(traction_force, float)
+        and isinstance(v, float)
+        and isinstance(grade, float)
+    ):
+        return (
+            traction_force
+            - aero_drag_force(params, v)
+            - grade_resistance_force(params, grade)
+        ) / params.mass
     f_net = (
         np.asarray(traction_force, dtype=float)
         - aero_drag_force(params, v)
@@ -67,6 +85,12 @@ def required_traction_force(
     grade: float | np.ndarray,
 ):
     """Traction force [N] needed to hold acceleration ``a`` at (v, grade)."""
+    if isinstance(a, float) and isinstance(v, float) and isinstance(grade, float):
+        return (
+            params.mass * a
+            + aero_drag_force(params, v)
+            + grade_resistance_force(params, grade)
+        )
     return (
         params.mass * np.asarray(a, dtype=float)
         + aero_drag_force(params, v)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..constants import AIR_DENSITY, GASOLINE_GGE, GRAVITY
 from ..errors import ConfigurationError
@@ -57,18 +58,20 @@ class VehicleParams:
         if not (0.0 <= self.rolling_resistance < 0.2):
             raise ConfigurationError("rolling_resistance out of plausible range")
 
-    @property
+    # Derived constants are cached: the trip simulator reads them twice per
+    # integration tick, and a frozen dataclass never invalidates them.
+    @cached_property
     def beta(self) -> float:
         """Eq 3's rolling-resistance angle: arcsin(mu / sqrt(1 + mu^2))."""
         mu = self.rolling_resistance
         return math.asin(mu / math.sqrt(1.0 + mu * mu))
 
-    @property
+    @cached_property
     def drag_term(self) -> float:
         """``rho * A_f * C_d`` — the aerodynamic lump in Eqs 3-5 [kg/m]."""
         return self.air_density * self.frontal_area * self.drag_coefficient
 
-    @property
+    @cached_property
     def weight(self) -> float:
         """Gravitational force m*g [N]."""
         return self.mass * GRAVITY

@@ -250,12 +250,14 @@ class TripSimulator:
                 a_cmd = min(a_cmd, brake_cmd)
                 if v + a_cmd * dt < 0.0:
                     a_cmd = -v / dt  # do not reverse
-            force = float(
-                np.clip(
-                    required_traction_force(veh, a_cmd, v, grade),
+            # min/max is np.clip's exact semantics on finite scalars and
+            # skips the ufunc dispatch the tick loop cannot afford.
+            force = min(
+                max(
+                    float(required_traction_force(veh, a_cmd, v, grade)),
                     -veh.max_brake_force,
-                    veh.max_drive_force,
-                )
+                ),
+                veh.max_drive_force,
             )
             a = float(acceleration(veh, force, v, grade))
             torque = force * veh.wheel_radius

@@ -146,3 +146,40 @@ class TestStreamingOfflineConsistency:
         z = measurements_on_timebase(accel.t, velocity)
         updates = int(np.count_nonzero(np.isfinite(z)))
         assert 0 < updates < len(accel.t) // 10
+
+
+class TestRunAllocationFree:
+    """run() is the hot array loop: no per-tick snapshots, same bits.
+
+    The streaming estimator's allocation story: push() hands back a fresh
+    frozen StreamState per tick (ergonomic), run() goes through _tick()
+    and never builds one (fast). Both must walk the filter through the
+    exact same float operations.
+    """
+
+    def test_run_bit_identical_to_push_loop(self):
+        accel, v_meas, dt = synthetic(theta=0.03, seed=4)
+        v_meas[100:400] = np.nan  # a measurement outage mid-stream
+        pushed = StreamingGradientEstimator(dt=dt)
+        want = np.array([pushed.push(a, z).theta for a, z in zip(accel, v_meas)])
+        got = StreamingGradientEstimator(dt=dt).run(accel, v_meas)
+        assert np.array_equal(got, want)
+
+    def test_run_never_builds_snapshots(self, monkeypatch):
+        import repro.core.online as online
+
+        def explode(*args, **kwargs):
+            raise AssertionError("run() must not allocate StreamState")
+
+        monkeypatch.setattr(online, "StreamState", explode)
+        accel, v_meas, dt = synthetic(n=500, seed=5)
+        est = StreamingGradientEstimator(dt=dt)
+        theta = est.run(accel, v_meas)
+        assert np.isfinite(theta).all()
+
+    def test_snapshot_is_frozen_with_slots(self):
+        est = StreamingGradientEstimator(dt=0.02)
+        state = est.push(0.1, 10.0)
+        with pytest.raises(AttributeError):
+            state.theta = 1.0  # type: ignore[misc]
+        assert not hasattr(state, "__dict__")  # slots: no per-instance dict

@@ -5,7 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.lane_change.smoothing import loess_smooth, tricube_kernel
+from repro.core.lane_change.smoothing import (
+    loess_smooth,
+    loess_smooth_batch,
+    tricube_kernel,
+)
 from repro.errors import ConfigurationError
 
 
@@ -71,3 +75,57 @@ class TestLoess:
     def test_constant_invariance_property(self, value, half_window):
         out = loess_smooth(np.full(120, value), half_window)
         assert np.allclose(out, value, atol=1e-9)
+
+
+class TestLoessBatch:
+    """The padded-matrix LOESS must be bitwise the per-row scalar LOESS."""
+
+    def _ragged(self, seed=0, n_rows=5, width=240):
+        rng = np.random.default_rng(seed)
+        lengths = rng.integers(3, width + 1, size=n_rows)
+        values = np.zeros((n_rows, width))
+        for r, n in enumerate(lengths):
+            values[r, :n] = np.cumsum(rng.normal(size=n))
+        return values, lengths
+
+    def test_bitwise_identical_per_row(self):
+        values, lengths = self._ragged(seed=3)
+        for k in (1, 3, 12):
+            out = loess_smooth_batch(values, lengths, k)
+            for r, n in enumerate(lengths):
+                assert np.array_equal(out[r, :n], loess_smooth(values[r, :n], k)), (r, k)
+                assert np.all(out[r, n:] == 0.0)  # padding stays zeroed
+
+    def test_short_rows_take_scalar_fallback(self):
+        # Rows shorter than the full window still match the scalar path.
+        values = np.zeros((3, 50))
+        lengths = np.array([2, 5, 50])
+        values[0, :2] = [1.0, -1.0]
+        values[1, :5] = np.linspace(0.0, 4.0, 5)
+        values[2] = np.sin(np.linspace(0.0, 6.0, 50))
+        out = loess_smooth_batch(values, lengths, half_window=12)
+        for r, n in enumerate(lengths):
+            assert np.array_equal(out[r, :n], loess_smooth(values[r, :n], 12))
+
+    def test_zero_length_row_left_zero(self):
+        values, lengths = self._ragged(seed=1, n_rows=3)
+        lengths[1] = 0
+        out = loess_smooth_batch(values, lengths, 4)
+        assert np.all(out[1] == 0.0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError, match="2-D"):
+            loess_smooth_batch(np.zeros(8), np.array([8]), 2)
+
+    def test_bad_lengths_rejected(self):
+        values = np.zeros((2, 10))
+        with pytest.raises(ConfigurationError, match="one entry per row"):
+            loess_smooth_batch(values, np.array([10]), 2)
+        with pytest.raises(ConfigurationError, match="fit inside"):
+            loess_smooth_batch(values, np.array([10, 11]), 2)
+        with pytest.raises(ConfigurationError, match="fit inside"):
+            loess_smooth_batch(values, np.array([10, -1]), 2)
+
+    def test_bad_half_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="half_window"):
+            loess_smooth_batch(np.zeros((1, 10)), np.array([10]), 0)

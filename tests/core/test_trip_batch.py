@@ -1,0 +1,275 @@
+"""TripBatch container and whole-pipeline batch-estimation tests.
+
+The load-bearing contract: ``estimate_batch`` over a fleet must be
+*bit-identical* to per-trip ``estimate`` calls — same fused gradients,
+same events, same per-trip telemetry — with one bad trip isolated instead
+of sinking the batch.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import GradientEstimationSystem
+from repro.core.stages import register_stage, run_stage_batch
+from repro.core.trip_batch import BATCH_CHANNELS, BatchPipelineContext, TripBatch
+from repro.errors import EstimationError
+from repro.eval.runner import RunnerConfig, make_system, simulate_recordings, system_config
+from repro.faults.suite import FaultSpec, FaultSuiteConfig
+from repro.obs import Telemetry
+from repro.roads.builder import SectionSpec, build_profile
+from repro.sensors.base import SampledSignal
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return build_profile(
+        [
+            SectionSpec.from_degrees(350.0, 2.0, lanes=2),
+            SectionSpec.from_degrees(300.0, -1.5, lanes=2, turn_deg=25.0),
+            SectionSpec.from_degrees(350.0, 1.0, lanes=2),
+        ],
+        name="batch-test-route",
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet(profile):
+    return simulate_recordings(profile, RunnerConfig(n_trips=4, seed=5))
+
+
+class TestTripBatch:
+    def test_padding_contract(self, fleet):
+        batch = TripBatch(fleet)
+        assert batch.n_trips == len(fleet)
+        assert batch.max_len == max(len(r.t) for r in fleet)
+        t2d = batch.t2d
+        mask = batch.sample_mask
+        for i, rec in enumerate(fleet):
+            n = len(rec.t)
+            assert np.array_equal(t2d[i, :n], rec.t)
+            assert np.all(t2d[i, n:] == rec.t[-1])  # pad repeats last t
+            assert mask[i, :n].all() and not mask[i, n:].any()
+
+    def test_column_matches_signals(self, fleet):
+        batch = TripBatch(fleet)
+        for name in BATCH_CHANNELS:
+            values, valid = batch.column(name)
+            for i, rec in enumerate(fleet):
+                sig = getattr(rec, name)
+                m = min(len(sig.values), batch.max_len)
+                assert np.array_equal(values[i, :m], sig.values[:m], equal_nan=True)
+                assert np.array_equal(valid[i, :m], sig.valid[:m])
+                assert np.all(values[i, m:] == 0.0)
+                assert not valid[i, m:].any()
+
+    def test_canbus_has_private_timebase(self, fleet):
+        # The simulated CAN bus samples at ~1/5 the master rate, so the
+        # all-channels `uniform` flag must be False while per-channel
+        # gating (gyro) stays True — this is what keeps the columnar
+        # alignment path live on real fleets.
+        batch = TripBatch(fleet)
+        assert not batch.channel_uniform("canbus").any()
+        assert batch.channel_uniform("gyro").all()
+        assert batch.channel_uniform("accel_long").all()
+        assert not batch.uniform.any()
+
+    def test_unknown_channel_rejected(self, fleet):
+        batch = TripBatch(fleet)
+        with pytest.raises(EstimationError):
+            batch.column("altimeter")
+        with pytest.raises(EstimationError):
+            batch.channel_uniform("altimeter")
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(EstimationError):
+            TripBatch([])
+
+    def test_set_recording_refreshes_rows(self, fleet):
+        batch = TripBatch(fleet)
+        values_before = batch.column("accel_long")[0].copy()
+        rec = fleet[0]
+        bumped = dataclasses.replace(
+            rec,
+            accel_long=SampledSignal(
+                t=rec.accel_long.t,
+                values=rec.accel_long.values + 1.0,
+                valid=rec.accel_long.valid,
+                name=rec.accel_long.name,
+                unit=rec.accel_long.unit,
+            ),
+        )
+        batch.set_recording(0, bumped)
+        assert batch.recording(0) is bumped
+        values, _ = batch.column("accel_long")
+        n = len(rec.accel_long.values)
+        assert np.array_equal(values[0, :n], values_before[0, :n] + 1.0)
+        assert np.array_equal(values[1:], values_before[1:])
+
+    def test_set_recording_rejects_length_change(self, fleet):
+        batch = TripBatch(fleet)
+        rec = fleet[0]
+        short = dataclasses.replace(
+            rec,
+            t=rec.t[:-1],
+            accel_long=SampledSignal(t=rec.t[:-1], values=rec.accel_long.values[:-1]),
+        )
+        with pytest.raises(EstimationError):
+            batch.set_recording(0, short)
+
+    def test_from_padded_validates_shapes(self, fleet):
+        batch = TripBatch(fleet)
+        with pytest.raises(EstimationError):
+            TripBatch.from_padded(fleet, np.zeros((1, 3)), {})
+        good_t2d = batch.t2d
+        with pytest.raises(EstimationError):
+            TripBatch.from_padded(fleet, good_t2d, {"bogus": (good_t2d, good_t2d)})
+
+    def test_from_padded_readonly_copy_on_write(self, fleet):
+        base = TripBatch(fleet)
+        t2d = base.t2d.copy()
+        t2d.setflags(write=False)
+        values, valid = (a.copy() for a in base.column("accel_long"))
+        values.setflags(write=False)
+        valid.setflags(write=False)
+        batch = TripBatch.from_padded(fleet, t2d, {"accel_long": (values, valid)})
+        batch.set_recording(0, fleet[0])  # must promote to writable copies
+        assert batch.t2d.flags.writeable
+        assert batch.column("accel_long")[0].flags.writeable
+        assert not t2d.flags.writeable  # the original is untouched
+
+
+def _assert_results_equal(a, b):
+    assert np.array_equal(a.fused.theta, b.fused.theta)
+    assert np.array_equal(a.fused.variance, b.fused.variance)
+    assert np.array_equal(a.fused.s, b.fused.s)
+    assert sorted(a.tracks) == sorted(b.tracks)
+    for name, ta in a.tracks.items():
+        assert np.array_equal(ta.theta, b.tracks[name].theta)
+    assert len(a.events) == len(b.events)
+    assert np.array_equal(a.aligned.w_steer, b.aligned.w_steer)
+
+
+class TestEstimateBatch:
+    @pytest.mark.parametrize("engine", ["batch", "scalar"])
+    def test_bit_identical_to_serial(self, profile, fleet, engine):
+        cfg = dataclasses.replace(
+            system_config(RunnerConfig(n_trips=4, seed=5)), ekf_engine=engine
+        )
+        system = GradientEstimationSystem(road_map=profile, config=cfg)
+        serial = [system.estimate(r) for r in fleet]
+        batched = system.estimate_batch(fleet)
+        assert len(batched.results) == len(fleet)
+        assert batched.errors == {}
+        for s, b in zip(serial, batched.results):
+            _assert_results_equal(s, b)
+
+    def test_bit_identical_under_faults_and_robust_stages(self, profile):
+        faults = FaultSuiteConfig(
+            faults=(
+                FaultSpec(kind="nan_burst", channel="accel_long", start_s=5.0,
+                          duration_s=1.0, severity=1.0),
+                FaultSpec(kind="gps_dropout", start_s=10.0, duration_s=8.0,
+                          severity=1.0),
+            ),
+            seed=7,
+        )
+        cfg = RunnerConfig(n_trips=3, seed=2, faults=faults,
+                           stages=("sanitize", "alignment", "lane_change",
+                                   "ekf_tracks", "fusion"))
+        recs = simulate_recordings(profile, cfg)
+        system = make_system(profile, cfg)
+        serial = [system.estimate(r) for r in recs]
+        batched = system.estimate_batch(recs)
+        for s, b in zip(serial, batched.results):
+            _assert_results_equal(s, b)
+
+    def test_per_trip_telemetry_matches_serial(self, profile, fleet):
+        cfg = RunnerConfig(n_trips=4, seed=5)
+        serial_snaps = []
+        for i, rec in enumerate(fleet):
+            tel = Telemetry(f"trip-{i}")
+            make_system(profile, cfg, telemetry=tel).estimate(rec)
+            serial_snaps.append(tel.metrics.snapshot())
+        tels = [Telemetry(f"trip-{i}") for i in range(len(fleet))]
+        make_system(profile, cfg).estimate_batch(fleet, telemetries=tels)
+        for want, tel in zip(serial_snaps, tels):
+            assert tel.metrics.snapshot() == want
+
+    def test_failure_isolated(self, profile, fleet):
+        rec = fleet[1]
+        broken = dataclasses.replace(
+            rec,
+            gyro=SampledSignal(t=rec.gyro.t[:1], values=rec.gyro.values[:1]),
+        )
+        recs = [fleet[0], broken, fleet[2], fleet[3]]
+        tel = Telemetry("batch-failures")
+        system = make_system(profile, RunnerConfig(n_trips=4, seed=5), telemetry=tel)
+        batched = system.estimate_batch(recs)
+        assert set(batched.errors) == {1}
+        assert batched.results[1] is None
+        serial = [system.estimate(r) for r in (fleet[0], fleet[2], fleet[3])]
+        for s, b in zip(serial, [batched.results[0], batched.results[2], batched.results[3]]):
+            _assert_results_equal(s, b)
+        snap = tel.metrics.snapshot()
+        assert snap["counters"].get("pipeline.batch.trip_failed") == 1
+
+    def test_telemetries_length_validated(self, profile, fleet):
+        system = make_system(profile, RunnerConfig(n_trips=4, seed=5))
+        with pytest.raises(EstimationError):
+            system.estimate_batch(fleet, telemetries=[None])
+
+    def test_empty_rejected(self, profile):
+        system = make_system(profile, RunnerConfig(n_trips=1, seed=0))
+        with pytest.raises(EstimationError):
+            system.estimate_batch([])
+
+
+class TestRunStageBatch:
+    def test_stage_without_run_batch_falls_back_to_run(self, profile, fleet):
+        calls = []
+
+        class TracingStage:
+            name = "tracing"
+
+            def run(self, ctx):
+                calls.append(id(ctx))
+                return ctx
+
+        cfg = system_config(RunnerConfig(n_trips=4, seed=5))
+        system = GradientEstimationSystem(road_map=profile, config=cfg)
+        contexts = system.estimate_batch(fleet)  # warm path for comparison
+        assert contexts.errors == {}
+
+        batch = TripBatch(fleet)
+        bctx = BatchPipelineContext(
+            batch=batch,
+            contexts=[object() for _ in fleet],
+            config=cfg,
+            road_map=profile,
+            vehicle=system.vehicle,
+            telemetry=Telemetry("fallback"),
+        )
+        run_stage_batch(TracingStage(), bctx)
+        assert len(calls) == len(fleet)  # looped the scalar run() per trip
+
+    def test_fallback_isolates_per_trip_crashes(self, profile, fleet):
+        class ExplodingStage:
+            name = "exploding"
+
+            def run(self, ctx):
+                raise EstimationError("boom")
+
+        cfg = system_config(RunnerConfig(n_trips=4, seed=5))
+        bctx = BatchPipelineContext(
+            batch=TripBatch(fleet),
+            contexts=[object() for _ in fleet],
+            config=cfg,
+            road_map=profile,
+            vehicle=None,
+            telemetry=Telemetry("explode"),
+        )
+        run_stage_batch(ExplodingStage(), bctx)
+        assert set(bctx.failed) == set(range(len(fleet)))
+        assert bctx.n_live == 0

@@ -21,4 +21,14 @@ class MislabeledStage:
         return ctx
 
 
+class BatchOnlyStage:
+    """Defines the batch fast path but not the mandatory scalar run()."""
+
+    name = "batch_only"
+
+    def run_batch(self, bctx):
+        return bctx
+
+
 register_stage("wrong_key", lambda system: MislabeledStage())
+register_stage("batch_only", lambda system: BatchOnlyStage())

@@ -31,5 +31,18 @@ class DebiasStage:
         return ctx
 
 
+class ColumnarStage:
+    """run_batch is fine as long as the scalar run() fallback exists."""
+
+    name = "columnar"
+
+    def run(self, ctx):
+        return ctx
+
+    def run_batch(self, bctx):
+        return bctx
+
+
 register_stage("resample", lambda system: ResampleStage(2))
 register_stage("debias", lambda system: DebiasStage())
+register_stage("columnar", lambda system: ColumnarStage())

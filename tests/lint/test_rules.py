@@ -55,14 +55,16 @@ class TestRL002ConfigSerializable:
 
 
 class TestRL003StageContract:
-    def test_bad_fixture_flags_orphan_and_mismatch(self):
+    def test_bad_fixture_flags_orphan_mismatch_and_batch_only(self):
         findings = run_rule("RL003", "rl003_bad.py")
-        assert len(findings) == 2
-        by_message = sorted(f.message for f in findings)
-        assert "never registered" in by_message[1]
-        assert "OrphanStage" in by_message[1]
-        assert "registered under ['wrong_key']" in by_message[0]
-        assert "MislabeledStage" in by_message[0]
+        assert len(findings) == 3
+        messages = " | ".join(sorted(f.message for f in findings))
+        assert "never registered" in messages
+        assert "OrphanStage" in messages
+        assert "registered under ['wrong_key']" in messages
+        assert "MislabeledStage" in messages
+        assert "BatchOnlyStage" in messages
+        assert "defines run_batch() but no run()" in messages
 
     def test_good_fixture_is_clean(self):
         assert run_rule("RL003", "rl003_good.py") == []

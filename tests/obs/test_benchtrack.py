@@ -36,6 +36,14 @@ def _write_artifacts(bench_dir, speedup=8.0, clean_rmse=0.2, overhead=1.01):
             ]
         )
     )
+    (bench_dir / "BENCH_pipeline.json").write_text(
+        json.dumps(
+            [
+                {"speedup": 2.1, "serial_s": 10.0, "batch_s": 4.76, "trips_per_sec": 6.7},
+                {"speedup": 2.4, "serial_s": 10.0, "batch_s": 4.17, "trips_per_sec": 7.7},
+            ]
+        )
+    )
     (bench_dir / "BENCH_faults.json").write_text(
         json.dumps(
             {
@@ -79,6 +87,8 @@ class TestCollect:
         _write_artifacts(tmp_path)
         metrics = collect_metrics(tmp_path)
         assert metrics["batch.speedup"] == 8.0  # latest entry wins
+        assert metrics["pipeline.speedup"] == 2.4
+        assert metrics["pipeline.trips_per_sec"] == 7.7
         assert metrics["faults.clean_rmse_deg"] == 0.2
         assert metrics["faults.max_rmse_ratio"] == 2.5
         assert metrics["faults.n_scenarios_failed"] == 1.0
@@ -143,6 +153,14 @@ class TestRules:
         rule = RegressionRule(metric="ratio", direction="lower", max_value=1.05)
         assert rule.evaluate(1.0, None) is None
         assert "ceiling" in rule.evaluate(1.2, None)
+
+    def test_pipeline_speedup_floor_gates_without_history(self):
+        # The whole-pipeline batching gate: < 2x fails even with no
+        # previous entry to diff against.
+        rule = next(r for r in DEFAULT_RULES if r.metric == "pipeline.speedup")
+        assert rule.min_value == 2.0
+        assert rule.evaluate(1.8, None) is not None
+        assert rule.evaluate(2.2, None) is None
 
     def test_absent_metric_skipped(self):
         violations = check_regressions({"other": 1.0}, None, DEFAULT_RULES)
