@@ -2,7 +2,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check lint lint-rules typecheck metric-names test fast test-faults test-scenarios coverage bench-smoke bench bench-batch bench-pipeline bench-faults bench-scenarios profile benchtrack benchtrack-report
+.PHONY: check lint lint-rules typecheck metric-names test fast test-faults test-scenarios coverage bench-smoke bench bench-batch bench-pipeline bench-faults bench-scenarios bench-gps-denied profile benchtrack benchtrack-report
 
 # Fast-lane coverage floor enforced in the CI PR lane (see ci.yml):
 # measured 94.6% line coverage over src/repro, floored at measured - 1.
@@ -76,6 +76,11 @@ bench-scenarios:
 	$(PYTEST) benchmarks/bench_scenarios.py -q -p no:cacheprovider
 	PYTHONPATH=src python benchmarks/bench_scenarios.py --reduced \
 		--manifest benchmarks/bench_scenarios_manifest.json
+
+bench-gps-denied:
+	$(PYTEST) benchmarks/bench_gps_denied.py -q -p no:cacheprovider
+	PYTHONPATH=src python benchmarks/bench_gps_denied.py --reduced \
+		--manifest benchmarks/bench_gps_denied_manifest.json
 
 profile:
 	PYTHONPATH=src python -m repro.obs.profile --trips 3

@@ -3,8 +3,9 @@
 from .batch import estimate_tracks_batch
 from .trip_batch import BATCH_CHANNELS, BatchPipelineContext, TripBatch
 from .bias_ekf import BiasEKFConfig, estimate_track_bias_augmented
+from .dead_reckoning import DeadReckoner, DeadReckoningConfig, GPSDeniedConfig
 from .ekf import EKFModel, ExtendedKalmanFilter
-from .online import StreamingGradientEstimator, StreamState
+from .online import MODE_NAMES, StreamingGradientEstimator, StreamState
 from .gradient_ekf import (
     GradientEKFConfig,
     GradientFilterCore,
@@ -51,8 +52,12 @@ from .track_fusion import convex_combination, fuse_tracks
 __all__ = [
     "BiasEKFConfig",
     "estimate_track_bias_augmented",
+    "DeadReckoner",
+    "DeadReckoningConfig",
+    "GPSDeniedConfig",
     "EKFModel",
     "ExtendedKalmanFilter",
+    "MODE_NAMES",
     "StreamingGradientEstimator",
     "StreamState",
     "GradientEKFConfig",

@@ -217,6 +217,40 @@ class GradientFilterCore:
         self.p11 = one_m * p11
         return inno
 
+    def update_theta(self, z: float, r: float) -> float:
+        """Fuse one *gradient* measurement (H = [0, 1]) with noise ``r``.
+
+        This is the prior-grade-map update used in GPS-denied operation:
+        ``z`` is the map gradient at the estimated arc length [rad] and
+        ``r`` its quality-weighted variance [rad^2]
+        (:meth:`~repro.roads.prior_map.PriorGradeMap.measurement`). Returns
+        the innovation.
+        """
+        p12, p22 = self.p12, self.p22
+        s_inno = p22 + r
+        k1 = p12 / s_inno
+        k2 = p22 / s_inno
+        inno = z - self.theta
+        self.v += k1 * inno
+        self.theta += k2 * inno
+        one_m = 1.0 - k2
+        self.p11 = self.p11 - k1 * p12
+        self.p12 = one_m * p12
+        self.p22 = one_m * p22
+        return inno
+
+    def inflate(self, factor: float) -> None:
+        """Scale the whole covariance by ``factor`` (>= 1).
+
+        The reacquisition policy after a GPS outage: instead of trusting a
+        coasted covariance that never saw the drift, the filter admits
+        extra uncertainty so fresh measurements reconverge it quickly. A
+        uniform scaling keeps the matrix positive semi-definite.
+        """
+        self.p11 *= factor
+        self.p12 *= factor
+        self.p22 *= factor
+
     def step(self, a_meas: float, z: float | None = None) -> float | None:
         """Predict, then update when a measurement arrived this tick.
 
@@ -254,6 +288,49 @@ def measurements_on_timebase(
     return z
 
 
+def _gps_denied_plan(
+    z: np.ndarray,
+    dt: float,
+    s: np.ndarray,
+    gps_denied,
+    prior_map,
+) -> dict[int, tuple] | None:
+    """Per-tick GPS-denied actions for the offline engine, or ``None``.
+
+    Measurement outages longer than ``outage_enter_ticks`` get (a)
+    prior-map gradient updates every ``map_update_interval_ticks`` once
+    the dead-reckoning threshold passes — fused with noise widened by the
+    position drift a streaming deployment would have accumulated by then —
+    and (b) one covariance inflation at the reacquisition tick (the first
+    measurement after the outage). Returns ``{tick: ("map", theta, r)}``
+    and ``{tick: ("inflate",)}`` entries; ``None`` when nothing applies.
+    """
+    pm = prior_map
+    if pm is None and gps_denied.prior_map is not None:
+        pm = gps_denied.prior_map.build()
+    fuse_map = gps_denied.use_prior_map and pm is not None
+    bad = ~np.isfinite(z)
+    plan: dict[int, tuple] = {}
+    edges = np.flatnonzero(
+        np.diff(np.concatenate(([False], bad, [False])).astype(int))
+    )
+    q_s = gps_denied.dead_reckoning.position_rate_std**2
+    for start, end in zip(edges[0::2], edges[1::2]):
+        if end - start < gps_denied.outage_enter_ticks:
+            continue  # an ordinary sparse-measurement gap, not an outage
+        if fuse_map:
+            first = start + gps_denied.dead_reckoning_after_ticks
+            for i in range(first, end, gps_denied.map_update_interval_ticks):
+                # Offline the arc length is known from the alignment, but a
+                # deployment localizes by dead reckoning; model its drift
+                # so the map update's trust matches the streaming path.
+                s_var = q_s * (i - start) * dt
+                plan[i] = ("map", *pm.measurement(float(s[i]), s_var))
+        if end < len(z):
+            plan[end] = ("inflate",)
+    return plan or None
+
+
 def estimate_track(
     accel: SampledSignal,
     velocity: SampledSignal,
@@ -263,6 +340,8 @@ def estimate_track(
     name: str | None = None,
     telemetry: Telemetry | None = None,
     monitor=None,
+    gps_denied=None,
+    prior_map=None,
 ) -> GradientTrack:
     """Run the gradient EKF against one velocity source (fast engine).
 
@@ -279,6 +358,15 @@ def estimate_track(
         Optional :class:`~repro.obs.health.HealthMonitor`; receives the
         track's innovation record via ``check_track``. Purely passive —
         outputs are bit-identical with or without it.
+    gps_denied:
+        Optional :class:`~repro.core.dead_reckoning.GPSDeniedConfig`; when
+        enabled, long measurement outages fuse prior-map gradient updates
+        and reacquisition inflates the covariance (see
+        :func:`_gps_denied_plan`). ``None`` or disabled leaves the engine
+        bit-identical to the historical behaviour.
+    prior_map:
+        Optional :class:`~repro.roads.prior_map.PriorGradeMap` overriding
+        the map embedded in ``gps_denied.prior_map``.
     """
     vehicle = vehicle or DEFAULT_VEHICLE
     cfg = config or GradientEKFConfig()
@@ -313,6 +401,13 @@ def estimate_track(
         dt, vehicle=vehicle, config=cfg, measurement_std=r_std, v0=v0
     )
 
+    gd_plan = None
+    n_map_updates = 0
+    n_inflations = 0
+    if gps_denied is not None and gps_denied.enabled:
+        gd_plan = _gps_denied_plan(z, dt, s, gps_denied, prior_map)
+        inflation = gps_denied.reacquire_inflation
+
     a_in = accel.values
     theta_out = np.empty(n)
     var_out = np.empty(n)
@@ -329,6 +424,13 @@ def estimate_track(
         hist_f = np.empty((n, 3))  # (b, c, d); F = [[1, b], [c, d]]
 
     for i in range(n):
+        gd_act = gd_plan.get(i) if gd_plan is not None else None
+        if gd_act is not None and gd_act[0] == "inflate":
+            # Reacquisition: inflate *before* this tick's predict so the
+            # first post-outage update sees an honestly uncertain prior.
+            core.inflate(inflation)
+            n_inflations += 1
+
         core.predict(a_in[i])
 
         if do_smooth:
@@ -351,6 +453,12 @@ def estimate_track(
             if mon is not None:
                 mon_inno.append(inno)
                 mon_ticks.append(i)
+        elif gd_act is not None and gd_act[0] == "map":
+            # GPS-denied: fuse the prior-map gradient at this tick's
+            # estimated arc length (the tick itself has no velocity
+            # measurement, so the two updates never collide).
+            core.update_theta(gd_act[1], gd_act[2])
+            n_map_updates += 1
 
         theta_out[i] = core.theta
         var_out[i] = core.p22
@@ -369,6 +477,10 @@ def estimate_track(
         if innovations:
             tel.observe_many("ekf_innovation_abs", innovations)
         tel.gauge("ekf.final_theta_variance", float(var_out[-1]))
+        if n_map_updates:
+            tel.count("ekf.map_updates", n_map_updates)
+        if n_inflations:
+            tel.count("ekf.covariance_reset", n_inflations)
 
     track_name = name or velocity.name
     if mon is not None:
@@ -384,6 +496,16 @@ def estimate_track(
             final_cov=(core.p11, core.p12, core.p22),
         )
 
+    meta = {
+        "process": cfg.process,
+        "measurement_std": r_std,
+        "smoothed": cfg.smooth,
+    }
+    if gd_plan is not None:
+        meta["gps_denied"] = {
+            "map_updates": n_map_updates,
+            "reacquisitions": n_inflations,
+        }
     return GradientTrack(
         name=track_name,
         t=t.copy(),
@@ -391,11 +513,7 @@ def estimate_track(
         theta=theta_out,
         variance=var_out,
         v=v_out,
-        meta={
-            "process": cfg.process,
-            "measurement_std": r_std,
-            "smoothed": cfg.smooth,
-        },
+        meta=meta,
     )
 
 

@@ -36,6 +36,7 @@ from ..roads.profile import RoadProfile
 from ..sensors.alignment import AlignedSteering, CoordinateAlignment
 from ..sensors.phone import VELOCITY_SOURCES, PhoneRecording
 from ..vehicle.params import DEFAULT_VEHICLE, VehicleParams
+from .dead_reckoning import GPSDeniedConfig
 from .gradient_ekf import GradientEKFConfig
 from .lane_change.detector import LaneChangeDetector, LaneChangeDetectorConfig, LaneChangeEvent
 from .sanitize import SanitizeConfig
@@ -110,6 +111,15 @@ class GradientSystemConfig(SerializableConfig):
         (:data:`~repro.core.stages.STAGE_REGISTRY`). Defaults to the
         paper's four-stage dataflow; ablate or extend by listing a
         different sequence.
+    gps_denied:
+        GPS-denied operating mode
+        (:class:`~repro.core.dead_reckoning.GPSDeniedConfig`): outage-mode
+        handling, covariance inflation on reacquisition, and — when a
+        :class:`~repro.roads.prior_map.PriorGradeMap` is configured —
+        prior-map gradient updates through outages. Disabled by default;
+        when disabled the pipeline output is bit-identical to a config
+        without the field. Enabling it routes estimation through the
+        scalar EKF engine (the batch engine has no outage plan).
     """
 
     ekf: GradientEKFConfig = field(default_factory=GradientEKFConfig)
@@ -123,6 +133,7 @@ class GradientSystemConfig(SerializableConfig):
     min_track_finite_fraction: float = 0.5
     health: HealthConfig = field(default_factory=HealthConfig)
     stages: tuple[str, ...] = DEFAULT_STAGES
+    gps_denied: GPSDeniedConfig = field(default_factory=GPSDeniedConfig)
 
     def __post_init__(self) -> None:
         unknown = [s for s in self.velocity_sources if s not in VELOCITY_SOURCES]

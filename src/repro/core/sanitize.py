@@ -11,7 +11,10 @@ is the pipeline's first line of defence — a stage (registered as
   ``max_gap_s`` with finite samples on both sides are linearly bridged
   (``pipeline.gap_interpolated`` counts the repairs);
 * **masks long outages** — longer (or edge-touching) runs are neutralized
-  per channel policy (``pipeline.gap_masked``): *drive* channels
+  per channel policy (``pipeline.gap_masked``); back-to-back outages
+  split by a single finite island merge into one outage (the island is
+  masked with them) when the merged span exceeds ``max_gap_s`` or touches
+  a trip edge: *drive* channels
   (accelerometer, gyro) are zero-filled so the filters coast, *measurement*
   channels (speedometer, CAN-bus, barometer) are left NaN with
   ``valid=False`` so the EKF runs predict-only across the outage;
@@ -119,10 +122,32 @@ def sanitize_signal(
     t = signal.t
     values = signal.values.copy()
     valid = signal.valid.copy()
+
+    # A lone finite sample wedged between two outage runs is no anchor:
+    # when the runs it separates span (together) more than ``max_gap_s``,
+    # or the merged run touches a trip edge, the island is folded into one
+    # outage and masked with it, rather than trusted as an interpolation
+    # endpoint or a stray "valid" measurement mid-outage. Without this,
+    # back-to-back long outages split by a single glitchy-but-finite
+    # sample were treated as two independent runs with a real measurement
+    # between them.
+    runs = _bad_runs(bad)
+    merged: list[list[int]] = []
+    for start, end in runs:
+        if merged and start == merged[-1][1] + 1:
+            m_start = merged[-1][0]
+            edge = m_start == 0 or end == len(values)
+            span_s = float(t[min(end, len(t) - 1)] - t[max(m_start - 1, 0)])
+            if edge or span_s > max_gap_s:
+                bad[merged[-1][1]] = True  # the island joins the outage
+                merged[-1][1] = end
+                continue
+        merged.append([start, end])
+
     ok_idx = np.flatnonzero(~bad)
     n_interp = 0
     n_masked = 0
-    for start, end in _bad_runs(bad):
+    for start, end in merged:
         # Interior runs short enough to bridge are interpolated from the
         # finite neighbours; edge-touching or long runs are true outages.
         interior = start > 0 and end < len(values) and not bad[start - 1] and not bad[end]

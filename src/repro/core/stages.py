@@ -396,7 +396,11 @@ class TrackEstimationStage:
         kept, signals = self._prepare_signals(ctx, aligned)
         monitor = ctx.extras.get("health_monitor")
         tracks: dict[str, GradientTrack] = {}
-        if cfg.ekf_engine == "batch" and len(signals) > 1:
+        # GPS-denied handling (outage plan, prior-map updates) exists only
+        # in the scalar engine; an enabled config routes around the batch
+        # engine rather than silently dropping the outage behaviour.
+        gd = cfg.gps_denied if cfg.gps_denied.enabled else None
+        if cfg.ekf_engine == "batch" and len(signals) > 1 and gd is None:
             n = len(signals)
             batch = estimate_tracks_batch(
                 [ctx.recording.accel_long] * n,
@@ -420,6 +424,7 @@ class TrackEstimationStage:
                     name=source,
                     telemetry=tel,
                     monitor=monitor,
+                    gps_denied=gd,
                 )
         ctx.tracks = tracks
         return ctx
@@ -432,8 +437,9 @@ class TrackEstimationStage:
         :func:`estimate_tracks_batch` call — the vectorized tick loop is
         elementwise per column, so each flattened track is bit-identical
         to the per-trip call while the interpreter cost is paid once per
-        tick instead of once per trip. Single-source trips and the
-        ``"scalar"`` engine mirror :meth:`run` per trip. Per-track
+        tick instead of once per trip. Single-source trips, the
+        ``"scalar"`` engine, and configs with GPS-denied handling enabled
+        mirror :meth:`run` per trip. Per-track
         telemetry and health monitoring report to each trip's own sinks.
         """
         cfg = bctx.config
@@ -462,7 +468,8 @@ class TrackEstimationStage:
         if not prepared:
             return
 
-        if cfg.ekf_engine == "batch":
+        gd = cfg.gps_denied if cfg.gps_denied.enabled else None
+        if cfg.ekf_engine == "batch" and gd is None:
             multi = [entry for entry in prepared if len(entry[4]) > 1]
             single = [entry for entry in prepared if len(entry[4]) == 1]
         else:
@@ -481,6 +488,7 @@ class TrackEstimationStage:
                         name=source,
                         telemetry=ctx.telemetry,
                         monitor=ctx.extras.get("health_monitor"),
+                        gps_denied=gd,
                     )
                 ctx.tracks = tracks
             except Exception as exc:  # noqa: BLE001 - per-trip isolation

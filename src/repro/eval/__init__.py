@@ -10,6 +10,7 @@ from .metrics import (
     root_mean_square_error,
     score_lane_change_detection,
 )
+from .gps_denied import GPSDeniedMatrixConfig, run_gps_denied_matrix
 from .grid import ScenarioGridConfig, run_scenario_grid, write_grid_artifact
 from .parallel import (
     BatchEvalConfig,
@@ -55,6 +56,8 @@ __all__ = [
     "BatchEvalConfig",
     "evaluate_trips",
     "evaluate_trips_batch",
+    "GPSDeniedMatrixConfig",
+    "run_gps_denied_matrix",
     "ScenarioGridConfig",
     "run_scenario_grid",
     "write_grid_artifact",

@@ -16,6 +16,7 @@ mapping, chosen so larger always means worse:
 
 ================  ===========================================================
 ``gps_dropout``   outage duration = ``severity`` seconds
+``gps_multipath`` 20 s window of speed bias, std = ``0.75 × severity`` m/s
 ``nan_burst``     NaN burst of ``severity`` seconds on the target channel
 ``inf_burst``     +Inf burst of ``severity`` seconds on the target channel
 ``stuck``         channel frozen for ``severity`` seconds
@@ -98,6 +99,13 @@ def fault_suite_for(
     """One scenario's fault suite, applying the severity mapping."""
     if kind == "gps_dropout":
         spec = FaultSpec(kind=kind, start_s=start_s, duration_s=severity)
+    elif kind == "gps_multipath":
+        # Severity maps to a fixed 20 s degraded window whose speed bias
+        # grows with severity (0.75 m/s per severity step — 3 m/s at the
+        # top of the grid, enough to trip the NIS health monitors).
+        spec = FaultSpec(
+            kind=kind, start_s=start_s, duration_s=20.0, severity=0.75 * severity
+        )
     elif kind in ("nan_burst", "inf_burst", "stuck"):
         spec = FaultSpec(
             kind=kind, channel=channel, start_s=start_s, duration_s=severity

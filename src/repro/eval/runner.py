@@ -26,6 +26,7 @@ from ..baselines.ann import ANNBaselineConfig, ANNGradientEstimator
 from ..config import SerializableConfig
 from ..baselines.barometer_direct import estimate_gradient_barometer
 from ..baselines.ekf_altitude import AltitudeEKFConfig, estimate_gradient_ekf_baseline
+from ..core.dead_reckoning import GPSDeniedConfig
 from ..core.gradient_ekf import GradientEKFConfig
 from ..core.lane_change.detector import LaneChangeDetectorConfig
 from ..core.lane_change.features import LaneChangeThresholds
@@ -103,6 +104,11 @@ class RunnerConfig(SerializableConfig):
     equally the all-default scenario) keeps the historical behaviour
     bit-identical. Scenarios compose freely with ``faults`` — the grid
     benchmark (:mod:`repro.eval.grid`) sweeps both axes at once.
+
+    ``gps_denied`` (a :class:`~repro.core.dead_reckoning.GPSDeniedConfig`)
+    enables the GPS-denied operating mode on the OPS pipeline — outage
+    handling plus optional prior-map fusion; ``None`` keeps the system
+    default (disabled, bit-identical output).
     """
 
     n_trips: int = 2
@@ -123,6 +129,7 @@ class RunnerConfig(SerializableConfig):
     stages: tuple[str, ...] | None = None
     health: HealthConfig | None = None
     scenario: ScenarioConfig | None = None
+    gps_denied: GPSDeniedConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_trips < 1:
@@ -265,6 +272,8 @@ def system_config(
         extra["stages"] = tuple(cfg.stages)
     if cfg.health is not None:
         extra["health"] = cfg.health
+    if cfg.gps_denied is not None:
+        extra["gps_denied"] = cfg.gps_denied
     return GradientSystemConfig(
         ekf=GradientEKFConfig(process=cfg.process),
         detector=LaneChangeDetectorConfig(thresholds=thresholds),

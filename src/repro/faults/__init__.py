@@ -1,8 +1,9 @@
 """Fault injection: seeded, composable sensor-failure models.
 
 The estimation pipeline is evaluated on clean simulated drives; this
-package supplies the *dirty* ones — GPS dropouts, NaN/Inf bursts, stuck
-sensors, saturation clipping, timestamp jitter, barometer drift — as
+package supplies the *dirty* ones — GPS dropouts, multipath speed bias,
+NaN/Inf bursts, stuck sensors, saturation clipping, timestamp jitter,
+barometer drift — as
 config-as-data scenarios applied to :class:`~repro.sensors.phone.PhoneRecording`
 objects. The resilience matrix (:mod:`repro.eval.resilience`) sweeps these
 scenarios against the degradation machinery in the core pipeline.
@@ -13,6 +14,7 @@ from .models import (
     BarometerDriftStep,
     FaultModel,
     GPSDropout,
+    GPSMultipathBias,
     NonFiniteBurst,
     SaturationClip,
     StuckSensor,
@@ -25,6 +27,7 @@ __all__ = [
     "BarometerDriftStep",
     "FaultModel",
     "GPSDropout",
+    "GPSMultipathBias",
     "NonFiniteBurst",
     "SaturationClip",
     "StuckSensor",

@@ -35,6 +35,7 @@ __all__ = [
     "SIGNAL_CHANNELS",
     "FaultModel",
     "GPSDropout",
+    "GPSMultipathBias",
     "NonFiniteBurst",
     "StuckSensor",
     "SaturationClip",
@@ -138,6 +139,73 @@ class GPSDropout:
                 y=gps.y * gone,
                 speed=gps.speed * gone,
                 available=gps.available & ~mask,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class GPSMultipathBias:
+    """Slow-varying GPS Doppler-speed bias from multipath reflections.
+
+    Under urban canyons and overpasses GPS does not cleanly drop out — it
+    keeps reporting fixes whose speed is biased by reflected signal paths.
+    The bias is strongly correlated fix-to-fix (the geometry changes
+    slowly), modelled here as a stationary AR(1) walk with marginal std
+    ``bias_std`` [m/s] and per-fix correlation ``rho``, added to the
+    reported speed inside the window. Fixes stay ``available`` — the
+    degraded-fix failure mode the GPS-denied mode machine's quality
+    hysteresis exists for, and a sharper test than :class:`GPSDropout`
+    because a naive consumer happily fuses the biased fixes.
+    """
+
+    start_s: float
+    duration_s: float
+    bias_std: float = 1.0
+    rho: float = 0.95
+    kind: str = "gps_multipath"
+
+    def __post_init__(self) -> None:
+        _check_window(self.kind, self.start_s, self.duration_s)
+        if self.bias_std <= 0.0 or not np.isfinite(self.bias_std):
+            raise FaultInjectionError(
+                f"{self.kind}: bias_std must be finite and > 0, got {self.bias_std}"
+            )
+        if not (0.0 <= self.rho < 1.0):
+            raise FaultInjectionError(
+                f"{self.kind}: rho must be in [0, 1), got {self.rho}"
+            )
+
+    def apply(
+        self, recording: PhoneRecording, rng: np.random.Generator
+    ) -> PhoneRecording:
+        gps = recording.gps
+        mask = (
+            _window_mask(gps.t, self.start_s, self.duration_s)
+            & gps.available
+            & np.isfinite(gps.speed)
+        )
+        idx = np.flatnonzero(mask)
+        if not len(idx):
+            return recording
+        # Stationary AR(1): start at the marginal distribution, innovate
+        # with sqrt(1 - rho^2) * std so the marginal std stays bias_std
+        # however long the window runs.
+        shocks = rng.standard_normal(len(idx))
+        bias = np.empty(len(idx))
+        bias[0] = self.bias_std * shocks[0]
+        innov = self.bias_std * np.sqrt(1.0 - self.rho * self.rho)
+        for k in range(1, len(idx)):
+            bias[k] = self.rho * bias[k - 1] + innov * shocks[k]
+        speed = gps.speed.copy()
+        speed[idx] = speed[idx] + bias
+        return dataclasses.replace(
+            recording,
+            gps=GPSFixes(
+                t=gps.t.copy(),
+                x=gps.x.copy(),
+                y=gps.y.copy(),
+                speed=speed,
+                available=gps.available.copy(),
             ),
         )
 

@@ -13,6 +13,7 @@ per kind:
 
 ================  ==========================================================
 ``gps_dropout``   total GPS outage for ``[start_s, start_s + duration_s)``
+``gps_multipath``  AR(1) GPS speed bias of std ``severity`` [m/s] over the window
 ``nan_burst``     NaN burst on ``channel`` over the window
 ``inf_burst``     +Inf burst on ``channel`` over the window
 ``stuck``         ``channel`` frozen at its last pre-window sample
@@ -40,6 +41,7 @@ from .models import (
     BarometerDriftStep,
     FaultModel,
     GPSDropout,
+    GPSMultipathBias,
     NonFiniteBurst,
     SaturationClip,
     StuckSensor,
@@ -81,6 +83,9 @@ class FaultSpec(SerializableConfig):
 #: kind -> injector factory over the spec.
 FAULT_KINDS: dict[str, Callable[[FaultSpec], FaultModel]] = {
     "gps_dropout": lambda sp: GPSDropout(start_s=sp.start_s, duration_s=sp.duration_s),
+    "gps_multipath": lambda sp: GPSMultipathBias(
+        start_s=sp.start_s, duration_s=sp.duration_s, bias_std=sp.severity
+    ),
     "nan_burst": lambda sp: NonFiniteBurst(
         channel=sp.channel, start_s=sp.start_s, duration_s=sp.duration_s
     ),

@@ -157,6 +157,27 @@ DEFAULT_RULES: tuple[RegressionRule, ...] = (
         tolerance=0.0,
         max_value=0.0,
     ),
+    # GPS-denied contract: a 30 s outage with dead reckoning + prior map
+    # keeps gradient RMSE within 2x clean (the ISSUE acceptance gate), the
+    # worst aided in-outage drift stays bounded, and no aided cell fails.
+    RegressionRule(
+        metric="gps_denied.rmse_ratio_30s_aided",
+        direction="lower",
+        tolerance=0.5,
+        max_value=2.0,
+    ),
+    RegressionRule(
+        metric="gps_denied.max_drift_deg",
+        direction="lower",
+        tolerance=0.5,
+        max_value=6.0,
+    ),
+    RegressionRule(
+        metric="gps_denied.n_cells_failed",
+        direction="lower",
+        tolerance=0.0,
+        max_value=0.0,
+    ),
     RegressionRule(
         metric="telemetry.push_overhead_ratio",
         direction="lower",
@@ -226,6 +247,20 @@ def collect_metrics(bench_dir: str | Path) -> dict:
             metrics["faults.n_scenarios_failed"] = float(
                 sum(1 for s in scenarios if not s.get("ok"))
             )
+
+    gps_denied = _read_json(bench_dir / "BENCH_gps_denied.json")
+    if isinstance(gps_denied, dict):
+        summary = gps_denied.get("summary")
+        if isinstance(summary, dict):
+            for key in (
+                "clean_rmse_deg",
+                "rmse_ratio_30s_aided",
+                "max_drift_deg",
+                "n_cells_failed",
+            ):
+                value = summary.get(key)
+                if isinstance(value, (int, float)):
+                    metrics["gps_denied." + key] = float(value)
 
     grid = _read_json(bench_dir / "BENCH_scenarios.json")
     if isinstance(grid, dict):

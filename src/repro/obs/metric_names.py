@@ -27,11 +27,13 @@ METRIC_NAMES = frozenset(
         "alignment.yaw_offset",
         "ekf.covariance_reset",
         "ekf.final_theta_variance",
+        "ekf.map_updates",
         "ekf_innovation_abs",
         "ekf_ticks",
         "ekf_updates",
         "eval.batch_chunks",
         "eval.batch_reports",
+        "eval.gps_denied_cells",
         "eval.parallel_reports",
         "eval.trips_simulated",
         "eval.worker_failed",
@@ -62,6 +64,12 @@ METRIC_NAMES = frozenset(
         "resilience.scenario_failed",
         "samples_dropped",
         "stream.clamped_ticks",
+        "stream.map_updates",
+        "stream.mode.coasting",
+        "stream.mode.dead_reckoning",
+        "stream.mode.nominal",
+        "stream.mode.reacquiring",
+        "stream.mode.transitions",
         "stream.nonfinite_guard",
         "stream.ticks",
         "stream.updates",

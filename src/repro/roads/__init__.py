@@ -15,6 +15,7 @@ from .geometry import (
     wrap_angle,
 )
 from .network import RoadEdge, RoadNetwork, concatenate_profiles
+from .prior_map import PriorGradeMap, PriorMapConfig
 from .profile import RoadProfile, RoadSection
 from .reference import ReferenceProfile, ReferenceSurveyConfig, survey_reference_profile
 
@@ -39,6 +40,8 @@ __all__ = [
     "haversine_m",
     "unwrap_angles",
     "wrap_angle",
+    "PriorGradeMap",
+    "PriorMapConfig",
     "RoadEdge",
     "RoadNetwork",
     "concatenate_profiles",

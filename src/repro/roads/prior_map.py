@@ -1,0 +1,242 @@
+"""Prior grade map: a previously-estimated grade profile as a measurement source.
+
+GPS-denied stretches leave the gradient EKF coasting: no velocity updates
+arrive, so ``theta`` variance grows without bound and the estimate freezes
+at whatever the filter last believed. But roads do not change between
+drives — a fused grade profile from a *previous* run over the same road is
+an excellent measurement of today's gradient, provided we know roughly
+where along the road we are. :class:`PriorGradeMap` packages such a
+profile for exactly that use (PAPERS.md, "Vehicle Localization and Control
+on Roads with Prior Grade Map"):
+
+* :meth:`theta_at` / :meth:`variance_at` interpolate the stored profile at
+  an along-track distance;
+* :meth:`measurement` returns ``(theta_map, r_eff)`` — the map gradient
+  plus an *effective* measurement noise that widens with both the map's
+  own quality (its stored variance) and the caller's position uncertainty
+  projected through the local grade slope, so a badly-localized query on a
+  fast-changing grade is trusted much less than a well-localized one on a
+  steady climb.
+
+The map is the first feedback edge from the (future) cloud map back into
+estimation: build one with :meth:`from_track` on a fused
+:class:`~repro.core.track.GradientTrack`, or :meth:`from_profile` on a
+survey :class:`~repro.roads.profile.RoadProfile` for an upper bound.
+:class:`PriorMapConfig` is the serializable form — plain sample tuples —
+so a map travels inside a
+:class:`~repro.core.dead_reckoning.GPSDeniedConfig` to evaluation workers
+like any other config.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SerializableConfig
+from ..errors import ConfigurationError
+
+__all__ = ["PriorGradeMap", "PriorMapConfig"]
+
+#: Default map variance [rad^2] when a source carries none — a ~0.5 deg std.
+_DEFAULT_MAP_STD = math.radians(0.5)
+
+
+@dataclass(frozen=True)
+class PriorMapConfig(SerializableConfig):
+    """A prior grade map as pure data (JSON-serializable sample arrays).
+
+    ``s`` / ``theta`` / ``variance`` are parallel samples of the previous
+    run's fused profile (arc length [m], gradient [rad], gradient variance
+    [rad^2]); ``noise_floor`` is the minimum effective measurement noise
+    [rad^2] a map update may claim, so even a perfect map never collapses
+    the filter onto itself. An empty config (no samples) builds to ``None``
+    — the natural "no map available" value.
+    """
+
+    s: tuple[float, ...] = ()
+    theta: tuple[float, ...] = ()
+    variance: tuple[float, ...] = ()
+    noise_floor: float = 1e-4
+    name: str = "prior-map"
+
+    def __post_init__(self) -> None:
+        if not (len(self.s) == len(self.theta) == len(self.variance)):
+            raise ConfigurationError(
+                f"prior map arrays must be parallel: got {len(self.s)} s, "
+                f"{len(self.theta)} theta, {len(self.variance)} variance"
+            )
+        if self.s and len(self.s) < 2:
+            raise ConfigurationError("a prior map needs at least two samples")
+        if self.noise_floor <= 0.0 or not np.isfinite(self.noise_floor):
+            raise ConfigurationError(
+                f"noise_floor must be finite and > 0, got {self.noise_floor}"
+            )
+        if self.s:
+            s = np.asarray(self.s, dtype=float)
+            if not np.all(np.isfinite(s)) or not np.all(np.diff(s) > 0.0):
+                raise ConfigurationError(
+                    "prior map arc lengths must be finite and strictly increasing"
+                )
+            if not np.all(np.isfinite(self.theta)):
+                raise ConfigurationError("prior map gradients must be finite")
+            var = np.asarray(self.variance, dtype=float)
+            if not np.all(np.isfinite(var)) or np.any(var < 0.0):
+                raise ConfigurationError(
+                    "prior map variances must be finite and >= 0"
+                )
+
+    def build(self) -> "PriorGradeMap | None":
+        """The runtime map, or ``None`` when the config holds no samples."""
+        if not self.s:
+            return None
+        return PriorGradeMap(
+            s=np.asarray(self.s, dtype=float),
+            theta=np.asarray(self.theta, dtype=float),
+            variance=np.asarray(self.variance, dtype=float),
+            noise_floor=self.noise_floor,
+            name=self.name,
+        )
+
+
+class PriorGradeMap:
+    """A fused grade profile queryable as an EKF measurement source."""
+
+    __slots__ = ("name", "s", "theta", "variance", "noise_floor", "_slope")
+
+    def __init__(
+        self,
+        s: np.ndarray,
+        theta: np.ndarray,
+        variance: np.ndarray | float = _DEFAULT_MAP_STD**2,
+        noise_floor: float = 1e-4,
+        name: str = "prior-map",
+    ) -> None:
+        s = np.asarray(s, dtype=float)
+        theta = np.asarray(theta, dtype=float)
+        if s.ndim != 1 or len(s) < 2:
+            raise ConfigurationError("a prior map needs at least two samples")
+        if theta.shape != s.shape:
+            raise ConfigurationError("prior map theta must match its arc lengths")
+        if not np.all(np.isfinite(s)) or not np.all(np.diff(s) > 0.0):
+            raise ConfigurationError(
+                "prior map arc lengths must be finite and strictly increasing"
+            )
+        if not np.all(np.isfinite(theta)):
+            raise ConfigurationError("prior map gradients must be finite")
+        if np.isscalar(variance) or np.ndim(variance) == 0:
+            variance = np.full(len(s), float(variance))
+        else:
+            variance = np.asarray(variance, dtype=float)
+            if variance.shape != s.shape:
+                raise ConfigurationError(
+                    "prior map variance must match its arc lengths"
+                )
+        if not np.all(np.isfinite(variance)) or np.any(variance < 0.0):
+            raise ConfigurationError("prior map variances must be finite and >= 0")
+        if noise_floor <= 0.0 or not np.isfinite(noise_floor):
+            raise ConfigurationError(
+                f"noise_floor must be finite and > 0, got {noise_floor}"
+            )
+        self.name = name
+        self.s = s
+        self.theta = theta
+        self.variance = variance
+        self.noise_floor = float(noise_floor)
+        # Local |d theta / d s| [rad/m], used to project the caller's
+        # position uncertainty into gradient units at query time.
+        self._slope = np.abs(np.gradient(theta, s))
+
+    @classmethod
+    def from_track(cls, track, noise_floor: float = 1e-4) -> "PriorGradeMap":
+        """Build from a (fused) gradient track of a previous run.
+
+        Duck-typed over ``track.s`` / ``track.theta`` / ``track.variance``
+        (and ``track.name``) so both per-source and fused
+        :class:`~repro.core.track.GradientTrack` objects work. Non-finite
+        samples (masked outage stretches of the source run) are dropped.
+        """
+        s = np.asarray(track.s, dtype=float)
+        theta = np.asarray(track.theta, dtype=float)
+        variance = np.asarray(track.variance, dtype=float)
+        ok = np.isfinite(s) & np.isfinite(theta) & np.isfinite(variance)
+        # Fused tracks ride on a strictly increasing grid; per-source tracks
+        # can revisit an arc length (stopped vehicle) — keep the first.
+        s, theta, variance = s[ok], theta[ok], variance[ok]
+        keep = np.concatenate(([True], np.diff(s) > 0.0))
+        return cls(
+            s=s[keep],
+            theta=theta[keep],
+            variance=np.maximum(variance[keep], 0.0),
+            noise_floor=noise_floor,
+            name=f"prior:{getattr(track, 'name', 'track')}",
+        )
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile,
+        std: float = _DEFAULT_MAP_STD,
+        spacing: float = 5.0,
+        noise_floor: float = 1e-4,
+    ) -> "PriorGradeMap":
+        """Build from a survey :class:`~repro.roads.profile.RoadProfile`.
+
+        ``std`` [rad] is the claimed survey accuracy, applied uniformly —
+        this is the idealized upper bound a real crowd-sourced map
+        approaches as drives accumulate.
+        """
+        n = max(int(profile.length / spacing) + 1, 2)
+        s = np.linspace(0.0, profile.length, n)
+        return cls(
+            s=s,
+            theta=np.asarray(profile.grade_at(s), dtype=float),
+            variance=float(std) ** 2,
+            noise_floor=noise_floor,
+            name=f"prior:{profile.name}",
+        )
+
+    def __len__(self) -> int:
+        return len(self.s)
+
+    @property
+    def length(self) -> float:
+        """Arc-length span covered by the map [m]."""
+        return float(self.s[-1] - self.s[0])
+
+    def theta_at(self, s):
+        """Map gradient [rad] at arc length ``s`` (scalar or array)."""
+        return np.interp(s, self.s, self.theta)
+
+    def variance_at(self, s):
+        """Map gradient variance [rad^2] at arc length ``s``."""
+        return np.interp(s, self.s, self.variance)
+
+    def measurement(self, s: float, s_variance: float = 0.0) -> tuple[float, float]:
+        """One map measurement: ``(theta_map, r_eff)`` at arc length ``s``.
+
+        ``r_eff`` is the map's own variance at ``s`` plus the caller's
+        position variance projected through the local grade slope
+        (``slope^2 * s_variance``), floored at ``noise_floor`` — the
+        quality-weighted noise a GPS-denied filter should fuse the map
+        with: sharper localization and flatter grade mean a tighter update.
+        """
+        theta = float(np.interp(s, self.s, self.theta))
+        var = float(np.interp(s, self.s, self.variance))
+        slope = float(np.interp(s, self.s, self._slope))
+        r_eff = var + slope * slope * max(float(s_variance), 0.0)
+        if r_eff < self.noise_floor:
+            r_eff = self.noise_floor
+        return theta, r_eff
+
+    def to_config(self) -> PriorMapConfig:
+        """The serializable form (plain tuples) of this map."""
+        return PriorMapConfig(
+            s=tuple(float(x) for x in self.s),
+            theta=tuple(float(x) for x in self.theta),
+            variance=tuple(float(x) for x in self.variance),
+            noise_floor=self.noise_floor,
+            name=self.name,
+        )

@@ -1,0 +1,129 @@
+"""Dead reckoner and GPS-denied config tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dead_reckoning import (
+    DeadReckoner,
+    DeadReckoningConfig,
+    GPSDeniedConfig,
+)
+from repro.errors import ConfigurationError, EstimationError
+from repro.roads import SectionSpec, build_profile
+
+
+def curvy_profile():
+    return build_profile(
+        [
+            SectionSpec.from_degrees(300.0, 1.0, 1, turn_deg=30.0),
+            SectionSpec.from_degrees(300.0, -1.0, 1, turn_deg=-25.0),
+        ],
+        name="dr-road",
+    )
+
+
+class TestDeadReckoner:
+    def test_predict_integrates_speed_and_gyro(self):
+        dr = DeadReckoner(dt=0.1, s0=5.0, psi0=0.0)
+        for _ in range(10):
+            dr.predict(10.0, 0.05)
+        assert dr.s == pytest.approx(5.0 + 10.0 * 1.0)
+        assert dr.psi == pytest.approx(0.05 * 1.0)
+
+    def test_heading_wraps(self):
+        dr = DeadReckoner(dt=1.0, psi0=3.0)
+        dr.predict(0.0, 0.5)  # 3.5 rad wraps past pi
+        assert -math.pi < dr.psi <= math.pi
+        assert dr.psi == pytest.approx(3.5 - 2.0 * math.pi)
+
+    def test_covariance_grows_with_configured_rates(self):
+        cfg = DeadReckoningConfig(position_rate_std=0.5, heading_rate_std=0.02)
+        dr = DeadReckoner(dt=0.02, config=cfg)
+        for _ in range(50):  # one second
+            dr.predict(15.0, 0.0)
+        assert dr.s_variance == pytest.approx(0.5**2, rel=1e-9)
+        assert dr.psi_variance == pytest.approx(0.02**2, rel=1e-9)
+
+    def test_road_match_reduces_heading_error_and_variance(self):
+        profile = curvy_profile()
+        dt = 0.02
+        dr = DeadReckoner(dt=dt, s0=100.0, psi0=float(profile.heading_at(100.0)))
+        # Drift for 4 s with a biased gyro while actually following the road.
+        v = 12.0
+        kappa = float(profile.curvature_at(100.0))
+        for _ in range(200):
+            dr.predict(v, v * kappa + 0.01)  # 0.01 rad/s gyro bias
+        err_before = abs(dr.psi - float(profile.heading_at(dr.s)))
+        p_before = dr.psi_variance
+        y = dr.match_road(profile)
+        assert dr.matches == 1
+        assert abs(y) > 0.0
+        assert dr.psi_variance < p_before
+        assert abs(dr.psi - float(profile.heading_at(dr.s))) < err_before
+
+    def test_along_track_error_observable_on_curves(self):
+        profile = curvy_profile()
+        dr = DeadReckoner(dt=0.02, s0=110.0, psi0=float(profile.heading_at(100.0)))
+        dr.p_ss = 100.0  # 10 m position uncertainty, true position 100 m
+        p_ss_before = dr.p_ss
+        for _ in range(5):
+            dr.match_road(profile)
+        # On a curved road the heading match shrinks position uncertainty
+        # and pulls s toward consistency with the observed heading.
+        assert dr.p_ss < p_ss_before
+        assert abs(dr.s - 100.0) < 10.0
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(EstimationError):
+            DeadReckoner(dt=0.0)
+
+
+class TestDeadReckoningConfig:
+    def test_roundtrip(self):
+        cfg = DeadReckoningConfig(position_rate_std=0.7, match_interval_ticks=10)
+        assert DeadReckoningConfig.from_dict(cfg.to_dict()) == cfg
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"position_rate_std": 0.0},
+            {"heading_rate_std": -1.0},
+            {"heading_match_std": float("nan")},
+            {"match_interval_ticks": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeadReckoningConfig(**kwargs)
+
+
+class TestGPSDeniedConfig:
+    def test_disabled_by_default(self):
+        assert not GPSDeniedConfig().enabled
+
+    def test_roundtrip_with_nested_configs(self):
+        cfg = GPSDeniedConfig(
+            enabled=True,
+            outage_enter_ticks=50,
+            dead_reckoning_after_ticks=100,
+            dead_reckoning=DeadReckoningConfig(match_interval_ticks=5),
+        )
+        assert GPSDeniedConfig.from_dict(cfg.to_dict()) == cfg
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"outage_enter_ticks": 0},
+            {"dead_reckoning_after_ticks": 10, "outage_enter_ticks": 20},
+            {"reacquire_good_ticks": 0},
+            {"map_update_interval_ticks": 0},
+            {"fix_quality_bad": 0.8, "fix_quality_good": 0.5},
+            {"fix_quality_good": 1.5},
+            {"reacquire_inflation": 0.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GPSDeniedConfig(**kwargs)

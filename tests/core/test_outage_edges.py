@@ -1,0 +1,132 @@
+"""Outage edge cases: island merging in sanitize, predict-only accounting.
+
+Regression pins for the degenerate outage shapes a real trace produces:
+back-to-back long outages separated by a single finite sample (a glitchy
+receiver emitting one plausible number mid-tunnel), and outages touching
+the trip start or end. The lone sample must not anchor interpolation or
+be fused as a real measurement — it joins the outage it splits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.online import StreamingGradientEstimator
+from repro.core.sanitize import sanitize_signal
+from repro.obs import Telemetry
+from repro.sensors.base import SampledSignal
+
+
+def signal(values, dt=0.1, name="speedometer"):
+    values = np.asarray(values, dtype=float)
+    return SampledSignal(t=np.arange(len(values)) * dt, values=values, name=name)
+
+
+class TestIslandMerge:
+    def test_island_between_long_outages_is_masked(self):
+        # 3 s NaN | one finite sample | 3 s NaN at dt=0.1, max_gap 2 s:
+        # the island cannot anchor either side — one merged masked run.
+        values = np.concatenate(
+            [np.full(5, 7.0), np.full(30, np.nan), [7.5], np.full(30, np.nan), np.full(5, 7.0)]
+        )
+        out, n_interp, n_masked = sanitize_signal(signal(values), max_gap_s=2.0)
+        assert n_interp == 0
+        assert n_masked == 1
+        assert np.all(np.isnan(out.values[5:66]))  # island at 35 masked too
+        assert not out.valid[35]
+        np.testing.assert_array_equal(out.values[:5], 7.0)
+        np.testing.assert_array_equal(out.values[66:], 7.0)
+
+    def test_island_between_short_gaps_still_anchors(self):
+        # Two 0.5 s gaps around one finite sample, merged span 1.1 s, below
+        # max_gap 2 s: legitimately two interpolable gaps with a real anchor.
+        values = np.concatenate(
+            [np.full(5, 4.0), np.full(5, np.nan), [5.0], np.full(5, np.nan), np.full(5, 6.0)]
+        )
+        out, n_interp, n_masked = sanitize_signal(signal(values), max_gap_s=2.0)
+        assert n_interp == 2
+        assert n_masked == 0
+        assert np.all(np.isfinite(out.values))
+        assert out.values[10] == 5.0  # the anchor survives untouched
+
+    def test_two_islands_chain_into_one_outage(self):
+        # outage | island | outage | island | outage all merge into one.
+        chunk = np.full(25, np.nan)
+        values = np.concatenate(
+            [np.full(5, 3.0), chunk, [3.1], chunk, [3.2], chunk, np.full(5, 3.0)]
+        )
+        out, n_interp, n_masked = sanitize_signal(signal(values), max_gap_s=2.0)
+        assert n_interp == 0
+        assert n_masked == 1
+        assert np.all(np.isnan(out.values[5:-5]))
+
+    def test_island_next_to_edge_outage_is_masked(self):
+        # Outage from the very first sample, then an island, then more NaN:
+        # edge-touching runs are outages regardless of span, and the island
+        # between them goes down with the merge.
+        values = np.concatenate([np.full(8, np.nan), [2.0], np.full(8, np.nan), np.full(10, 9.0)])
+        out, n_interp, n_masked = sanitize_signal(signal(values), max_gap_s=100.0)
+        assert n_masked == 1
+        assert np.all(np.isnan(out.values[:17]))
+        assert not out.valid[8]
+
+    def test_trailing_edge_outage_swallows_island(self):
+        values = np.concatenate([np.full(10, 9.0), np.full(8, np.nan), [2.0], np.full(8, np.nan)])
+        out, n_interp, n_masked = sanitize_signal(signal(values), max_gap_s=100.0)
+        assert n_masked == 1
+        assert np.all(np.isnan(out.values[10:]))
+
+    def test_separated_outages_stay_separate(self):
+        # Two finite samples between the runs: a real (if brief) recovery,
+        # not an island — the runs must not merge across it.
+        values = np.concatenate(
+            [np.full(5, 1.0), np.full(30, np.nan), [1.1, 1.2], np.full(30, np.nan), np.full(5, 1.0)]
+        )
+        out, n_interp, n_masked = sanitize_signal(signal(values), max_gap_s=2.0)
+        assert n_masked == 2
+        assert out.values[35] == 1.1
+        assert out.values[36] == 1.2
+        assert out.valid[35] and out.valid[36]
+
+    def test_zero_policy_merges_too(self):
+        values = np.concatenate(
+            [np.full(5, 1.0), np.full(30, np.nan), [1.5], np.full(30, np.nan), np.full(5, 1.0)]
+        )
+        out, _, n_masked = sanitize_signal(
+            signal(values, name="gyro"), max_gap_s=2.0, policy="zero"
+        )
+        assert n_masked == 1
+        np.testing.assert_array_equal(out.values[5:66], 0.0)
+
+
+class TestPredictOnlyAccounting:
+    def test_stream_updates_counts_only_finite_measurements(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        accel = rng.normal(0.0, 0.05, n)
+        z = np.full(n, np.nan)
+        z[::25] = 12.0
+        z[100:300] = np.nan  # outage erases 8 of the 20 fixes
+        tel = Telemetry("outage-edges")
+        est = StreamingGradientEstimator(dt=0.02, v0=12.0, telemetry=tel)
+        est.run(accel, z)
+        n_finite = int(np.isfinite(z).sum())
+        assert tel.metrics.counter("stream.ticks").value == n
+        assert tel.metrics.counter("stream.updates").value == n_finite
+        # Every other tick ran predict-only.
+        assert n - n_finite == n - tel.metrics.counter("stream.updates").value
+
+    def test_masked_island_means_no_update_tick(self):
+        # End-to-end: sanitize the signal, then confirm the stream fuses
+        # exactly the surviving finite samples — the masked island adds no
+        # update tick.
+        values = np.concatenate(
+            [np.full(50, 12.0), np.full(30, np.nan), [80.0], np.full(30, np.nan), np.full(50, 12.0)]
+        )
+        out, _, n_masked = sanitize_signal(signal(values, dt=0.1), max_gap_s=2.0)
+        assert n_masked == 1
+        tel = Telemetry("outage-edges")
+        est = StreamingGradientEstimator(dt=0.1, v0=12.0, telemetry=tel)
+        est.run(np.zeros(len(values)), out.values)
+        assert tel.metrics.counter("stream.updates").value == 100
+        # The bogus 80 m/s island never reached the filter.
+        assert abs(est.state.v - 12.0) < 1.0

@@ -1,0 +1,118 @@
+"""GPS-denied evaluation matrix: contract, determinism, guard rails."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval import GPSDeniedMatrixConfig, run_gps_denied_matrix
+from repro.eval.runner import RunnerConfig
+from repro.obs import Telemetry
+from repro.roads import SectionSpec, build_profile
+
+#: Short route and a single short outage keep the matrix fast in CI.
+FAST = GPSDeniedMatrixConfig(outages_s=(10.0,), outage_start_s=20.0, settle_s=5.0)
+
+
+@pytest.fixture(scope="module")
+def short_route():
+    return build_profile(
+        [
+            SectionSpec.from_degrees(400.0, 2.0, 2, turn_deg=25.0),
+            SectionSpec.from_degrees(400.0, -1.5, 2),
+        ],
+        name="gd-test-route",
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix(short_route):
+    tel = Telemetry("gd-matrix-test")
+    result = run_gps_denied_matrix(
+        short_route,
+        base_cfg=RunnerConfig(n_trips=1, seed=5),
+        config=FAST,
+        telemetry=tel,
+    )
+    return result, tel
+
+
+class TestMatrixContract:
+    def test_schema_and_shape(self, matrix):
+        result, _ = matrix
+        assert result["schema"] == "repro.bench_gps_denied/v1"
+        assert len(result["cells"]) == 4  # one outage x dr on/off x map on/off
+        assert result["config"]["outages_s"] == [10.0]
+        assert result["config"]["prior_map_samples"] > 0
+
+    def test_cells_carry_mode_machine_evidence(self, matrix):
+        result, _ = matrix
+        for cell in result["cells"]:
+            assert cell["rmse_deg"] is not None
+            assert cell["rmse_ratio"] is not None
+            # A 10 s outage against the 3 s default threshold must engage
+            # the mode machine in every cell.
+            assert cell["mode_transitions"] >= 2
+            assert cell["final_mode"] in ("nominal", "reacquiring")
+        aided = [c for c in result["cells"] if c["dead_reckoning"] and c["prior_map"]]
+        assert len(aided) == 1
+        assert aided[0]["map_updates"] > 0
+        unmapped = [c for c in result["cells"] if not c["prior_map"]]
+        assert all(c["map_updates"] == 0 for c in unmapped)
+
+    def test_summary_gates_on_aided_cells(self, matrix):
+        result, _ = matrix
+        summary = result["summary"]
+        assert summary["anchor_outage_s"] == 10.0
+        assert summary["clean_rmse_deg"] > 0.0
+        assert summary["rmse_ratio_30s_aided"] <= FAST.max_rmse_ratio
+        assert summary["n_cells_failed"] == 0
+
+    def test_strict_json(self, matrix):
+        result, _ = matrix
+        clone = json.loads(json.dumps(result, allow_nan=False))
+        assert clone["summary"] == result["summary"]
+
+    def test_cell_counter_incremented(self, matrix):
+        _, tel = matrix
+        assert tel.metrics.counter("eval.gps_denied_cells").value == 4
+
+    def test_deterministic_in_seed(self, short_route):
+        a = run_gps_denied_matrix(
+            short_route, base_cfg=RunnerConfig(n_trips=1, seed=5), config=FAST
+        )
+        b = run_gps_denied_matrix(
+            short_route, base_cfg=RunnerConfig(n_trips=1, seed=5), config=FAST
+        )
+        assert a == b
+
+
+class TestGuards:
+    def test_too_short_trip_raises_loudly(self, short_route):
+        # A silent no-op outage past the trip end was the original bug
+        # mode; the matrix must refuse instead.
+        cfg = GPSDeniedMatrixConfig(outages_s=(10.0,), outage_start_s=1e4)
+        with pytest.raises(ConfigurationError, match="longest outage window"):
+            run_gps_denied_matrix(
+                short_route, base_cfg=RunnerConfig(n_trips=1, seed=5), config=cfg
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"outages_s": ()},
+            {"outages_s": (0.0,)},
+            {"outages_s": (float("nan"),)},
+            {"outage_start_s": -1.0},
+            {"settle_s": -1.0},
+            {"max_rmse_ratio": 0.0},
+            {"measurement_std": 0.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GPSDeniedMatrixConfig(**kwargs)
+
+    def test_config_roundtrip(self):
+        assert GPSDeniedMatrixConfig.from_dict(FAST.to_dict()) == FAST

@@ -14,6 +14,7 @@ from repro.faults import (
     FaultSpec,
     FaultSuiteConfig,
     GPSDropout,
+    GPSMultipathBias,
     NonFiniteBurst,
     SaturationClip,
     StuckSensor,
@@ -42,6 +43,7 @@ def assert_unchanged(recording, before):
 
 ALL_FAULTS = [
     GPSDropout(start_s=5.0, duration_s=2.0),
+    GPSMultipathBias(start_s=5.0, duration_s=3.0, bias_std=0.5),
     NonFiniteBurst(channel="accel_long", start_s=5.0, duration_s=1.0),
     NonFiniteBurst(channel="speedometer", start_s=5.0, duration_s=1.0, fill=float("inf")),
     StuckSensor(channel="gyro", start_s=5.0, duration_s=2.0),
@@ -74,6 +76,7 @@ class TestInjectorContracts:
         "fault",
         [
             GPSDropout(start_s=1e6, duration_s=1.0),
+            GPSMultipathBias(start_s=1e6, duration_s=1.0),
             NonFiniteBurst(channel="accel_long", start_s=1e6, duration_s=1.0),
             StuckSensor(channel="gyro", start_s=1e6, duration_s=1.0),
             BarometerDriftStep(start_s=1e6, step=5.0),
@@ -102,6 +105,41 @@ class TestInjectorBehaviour:
         np.testing.assert_array_equal(
             out.gps.available[~mask], hill_recording.gps.available[~mask]
         )
+
+    def test_multipath_biases_speed_but_keeps_fixes_available(self, hill_recording):
+        out = GPSMultipathBias(start_s=5.0, duration_s=10.0, bias_std=2.0).apply(
+            hill_recording, np.random.default_rng(0)
+        )
+        gps = hill_recording.gps
+        t0 = float(gps.t[0])
+        mask = (
+            (gps.t >= t0 + 5.0)
+            & (gps.t < t0 + 15.0)
+            & gps.available
+            & np.isfinite(gps.speed)
+        )
+        assert mask.any()
+        # The trap this fault models: fixes stay available and finite, only
+        # the reported speed is wrong.
+        np.testing.assert_array_equal(out.gps.available, gps.available)
+        assert np.isfinite(out.gps.speed[mask]).all()
+        assert not np.array_equal(out.gps.speed[mask], gps.speed[mask])
+        np.testing.assert_array_equal(out.gps.speed[~mask], gps.speed[~mask])
+        np.testing.assert_array_equal(out.gps.x, gps.x)
+        np.testing.assert_array_equal(out.gps.y, gps.y)
+
+    def test_multipath_bias_is_correlated_fix_to_fix(self, hill_recording):
+        out = GPSMultipathBias(start_s=5.0, duration_s=20.0, bias_std=1.0, rho=0.99).apply(
+            hill_recording, np.random.default_rng(3)
+        )
+        gps = hill_recording.gps
+        bias = out.gps.speed - gps.speed
+        idx = np.flatnonzero(np.nan_to_num(bias) != 0.0)
+        assert len(idx) > 5
+        window = bias[idx]
+        # AR(1) with rho=0.99: consecutive biases move together — the lag-1
+        # differences are much smaller than the bias magnitude itself.
+        assert np.abs(np.diff(window)).mean() < np.abs(window).mean()
 
     def test_nan_burst_hits_only_the_window(self, hill_recording):
         out = NonFiniteBurst(channel="accel_long", start_s=5.0, duration_s=1.0).apply(
@@ -167,6 +205,22 @@ class TestValidation:
     def test_finite_fill_rejected(self):
         with pytest.raises(FaultInjectionError, match="fill"):
             NonFiniteBurst(channel="gyro", start_s=0.0, duration_s=1.0, fill=3.0)
+
+    def test_multipath_parameters_validated(self):
+        with pytest.raises(FaultInjectionError, match="bias_std"):
+            GPSMultipathBias(start_s=0.0, duration_s=1.0, bias_std=0.0)
+        with pytest.raises(FaultInjectionError, match="rho"):
+            GPSMultipathBias(start_s=0.0, duration_s=1.0, rho=1.0)
+        with pytest.raises(FaultInjectionError, match="rho"):
+            GPSMultipathBias(start_s=0.0, duration_s=1.0, rho=-0.1)
+
+    def test_multipath_spec_roundtrip_builds_with_severity(self):
+        spec = FaultSpec(kind="gps_multipath", start_s=4.0, duration_s=8.0, severity=2.0)
+        clone = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        model = clone.build()
+        assert isinstance(model, GPSMultipathBias)
+        assert model.bias_std == 2.0
 
     def test_jitter_severity_must_stay_below_one(self):
         with pytest.raises(FaultInjectionError, match="severity"):

@@ -1,0 +1,116 @@
+"""Prior grade map tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.track import GradientTrack
+from repro.errors import ConfigurationError
+from repro.roads import SectionSpec, build_profile
+from repro.roads.prior_map import PriorGradeMap, PriorMapConfig
+
+
+def simple_map(noise_floor=1e-4):
+    s = np.array([0.0, 100.0, 200.0, 300.0])
+    theta = np.array([0.0, 0.02, 0.04, 0.04])
+    var = np.array([1e-4, 4e-4, 1e-4, 1e-4])
+    return PriorGradeMap(s=s, theta=theta, variance=var, noise_floor=noise_floor)
+
+
+class TestPriorGradeMap:
+    def test_interpolates_theta_and_variance(self):
+        pm = simple_map()
+        assert pm.theta_at(50.0) == pytest.approx(0.01)
+        assert pm.variance_at(150.0) == pytest.approx(2.5e-4)
+        assert len(pm) == 4
+        assert pm.length == pytest.approx(300.0)
+
+    def test_measurement_widens_with_position_uncertainty(self):
+        pm = simple_map()
+        theta0, r0 = pm.measurement(150.0, s_variance=0.0)
+        theta1, r1 = pm.measurement(150.0, s_variance=100.0)
+        assert theta1 == theta0  # position variance widens noise, not value
+        # np.gradient slope is 2e-4 at s=100 and 1e-4 at s=200, so the
+        # interpolated slope at 150 is 1.5e-4; r grows by slope^2 * 100.
+        assert r1 > r0
+        assert r1 - r0 == pytest.approx(1.5e-4**2 * 100.0, rel=1e-6)
+
+    def test_measurement_floors_at_noise_floor(self):
+        pm = PriorGradeMap(
+            s=np.array([0.0, 100.0]),
+            theta=np.array([0.01, 0.01]),
+            variance=np.array([0.0, 0.0]),
+            noise_floor=1e-3,
+        )
+        _, r = pm.measurement(50.0)
+        assert r == 1e-3
+
+    def test_from_track_drops_nonfinite_and_dedups(self):
+        s = np.array([0.0, 10.0, 10.0, 20.0, 30.0])
+        theta = np.array([0.01, 0.02, 0.99, np.nan, 0.03])
+        var = np.array([1e-4] * 5)
+        track = GradientTrack(
+            name="fused",
+            t=np.arange(5.0),
+            s=s,
+            theta=theta,
+            variance=var,
+            v=np.full(5, 10.0),
+        )
+        pm = PriorGradeMap.from_track(track)
+        assert pm.name == "prior:fused"
+        np.testing.assert_allclose(pm.s, [0.0, 10.0, 30.0])
+        np.testing.assert_allclose(pm.theta, [0.01, 0.02, 0.03])
+
+    def test_from_profile_matches_survey_grade(self):
+        profile = build_profile(
+            [SectionSpec.from_degrees(400.0, 2.0, 1)], name="flat-climb"
+        )
+        pm = PriorGradeMap.from_profile(profile, spacing=10.0)
+        mid = profile.length / 2.0
+        assert pm.theta_at(mid) == pytest.approx(float(profile.grade_at(mid)), abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriorGradeMap(s=np.array([0.0]), theta=np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            PriorGradeMap(
+                s=np.array([0.0, 0.0]), theta=np.array([0.0, 0.0])
+            )  # non-increasing
+        with pytest.raises(ConfigurationError):
+            PriorGradeMap(
+                s=np.array([0.0, 1.0]), theta=np.array([0.0, np.nan])
+            )
+        with pytest.raises(ConfigurationError):
+            PriorGradeMap(
+                s=np.array([0.0, 1.0]),
+                theta=np.array([0.0, 0.0]),
+                variance=np.array([1e-4, -1.0]),
+            )
+
+
+class TestPriorMapConfig:
+    def test_empty_builds_to_none(self):
+        assert PriorMapConfig().build() is None
+
+    def test_roundtrip_through_config(self):
+        pm = simple_map()
+        cfg = pm.to_config()
+        rebuilt = PriorMapConfig.from_dict(cfg.to_dict()).build()
+        np.testing.assert_allclose(rebuilt.s, pm.s)
+        np.testing.assert_allclose(rebuilt.theta, pm.theta)
+        np.testing.assert_allclose(rebuilt.variance, pm.variance)
+        assert rebuilt.name == pm.name
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriorMapConfig(s=(0.0, 1.0), theta=(0.0,), variance=(0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            PriorMapConfig(s=(0.0,), theta=(0.0,), variance=(0.0,))
+        with pytest.raises(ConfigurationError):
+            PriorMapConfig(
+                s=(1.0, 0.0), theta=(0.0, 0.0), variance=(0.0, 0.0)
+            )
+        with pytest.raises(ConfigurationError):
+            PriorMapConfig(noise_floor=0.0)
